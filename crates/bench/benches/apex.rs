@@ -1,0 +1,33 @@
+//! §III-C bench: detailed (RTLSim) versus accelerated (APEX) power
+//! extraction — the speedup the paper quotes as ~5000x on AWAN hardware.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p10_apex::run_apex;
+use p10_bench::QUICK_OPS;
+use p10_rtlsim::{run_detailed, Roi, ToggleDensity};
+use p10_uarch::CoreConfig;
+use p10_workloads::specint_like;
+
+fn bench_extraction(c: &mut Criterion) {
+    let trace = specint_like()[8].workload(1).trace_or_panic(QUICK_OPS);
+    let cfg = CoreConfig::power10();
+    let mut g = c.benchmark_group("power_extraction");
+    g.sample_size(10);
+    g.bench_function("rtlsim_detailed", |b| {
+        b.iter(|| {
+            run_detailed(
+                &cfg,
+                vec![trace.clone()],
+                Roi::new(0, 10_000_000),
+                ToggleDensity::default(),
+            )
+        });
+    });
+    g.bench_function("apex_windowed", |b| {
+        b.iter(|| run_apex(&cfg, vec![trace.clone()], 4096, 10_000_000));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Scaled-down end-to-end experiment regeneration: Table I, Fig. 2,
+//! Fig. 4 (one group), Fig. 6, the flush study, WOF/PFLY, and SERMiner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p10_bench::{small_suite, QUICK_OPS};
+use p10_core::{flush, inference, table1};
+use p10_kernels::models::resnet50;
+use p10_powermgmt::{pfly, wof};
+use p10_workloads::specint_like;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10);
+    g.bench_function("table1_mini", |b| {
+        b.iter(|| table1::run_table1(&small_suite(), 42, QUICK_OPS / 2));
+    });
+    g.bench_function("fig2_pipedepth", |b| {
+        b.iter(|| p10_pipedepth::run_fig2(&p10_pipedepth::DepthParams::default(), &[0.25]));
+    });
+    g.bench_function("fig6_resnet", |b| {
+        let model = resnet50(100);
+        b.iter(|| inference::run_fig6(&model, QUICK_OPS / 2));
+    });
+    g.bench_function("flush_study_mini", |b| {
+        b.iter(|| flush::run_flush_study(42, QUICK_OPS / 2));
+    });
+    g.bench_function("wof_sweep", |b| {
+        let cfg = wof::WofConfig::typical();
+        b.iter(|| {
+            (0..100)
+                .map(|i| wof::solve(&cfg, 0.5 + f64::from(i) * 0.01, 0.0).point.freq)
+                .sum::<f64>()
+        });
+    });
+    g.bench_function("pfly_population", |b| {
+        let chips = pfly::population(&pfly::ProcessParams::default(), 500, 1);
+        let offering = pfly::Offering {
+            freq: 4.0,
+            enabled_cores: 12,
+            power_limit: 170.0,
+            core_dynamic_power: 10.0,
+            core_leakage_power: 3.0,
+        };
+        b.iter(|| pfly::evaluate(&offering, &chips));
+    });
+    g.bench_function("chopstix_extract", |b| {
+        let w = specint_like()[0].workload(23);
+        b.iter(|| p10_workloads::chopstix::extract(&w, 20_000, 10));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

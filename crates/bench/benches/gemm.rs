@@ -1,0 +1,32 @@
+//! Fig. 5 bench: GEMM kernel replay on the cycle model (the workload the
+//! paper measures over 5K-cycle windows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p10_bench::QUICK_OPS;
+use p10_core::scenario::run_traces;
+use p10_kernels::gemm::{dgemm_mma, dgemm_vsu, int8gemm_mma, sgemm_mma};
+use p10_uarch::CoreConfig;
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_gemm");
+    g.sample_size(10);
+    let p9 = CoreConfig::power9();
+    let p10 = CoreConfig::power10();
+    let cases = [
+        ("p9_dgemm_vsu", &p9, dgemm_vsu(1 << 40)),
+        ("p10_dgemm_vsu", &p10, dgemm_vsu(1 << 40)),
+        ("p10_dgemm_mma", &p10, dgemm_mma(1 << 40)),
+        ("p10_sgemm_mma", &p10, sgemm_mma(1 << 40)),
+        ("p10_int8_mma", &p10, int8gemm_mma(1 << 40)),
+    ];
+    for (name, cfg, kernel) in cases {
+        let trace = kernel.trace_or_panic(QUICK_OPS);
+        g.bench_function(name, |b| {
+            b.iter(|| run_traces(cfg, &kernel.name, vec![trace.clone()]));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Counter-model benches: regression fits, feature selection, and the
+//! Fig. 11/15 sweeps on a pre-built dataset.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p10_bench::QUICK_OPS;
+use p10_core::powerstudies::{build_dataset, run_fig11, run_fig15a, Target};
+use p10_powermodel::{fit, FitOptions};
+use p10_uarch::CoreConfig;
+use p10_workloads::specint_like;
+
+fn bench_powermodels(c: &mut Criterion) {
+    let suite = specint_like();
+    let data = build_dataset(
+        &CoreConfig::power10(),
+        &suite[7..10],
+        &[1],
+        QUICK_OPS,
+        512,
+        Target::ActivePower,
+    );
+    let mut g = c.benchmark_group("powermodels");
+    g.sample_size(10);
+    g.bench_function("single_fit_8_features", |b| {
+        b.iter(|| fit(&data, &[0, 1, 2, 3, 4, 5, 6, 7], FitOptions::default()));
+    });
+    g.bench_function("fig11_sweep", |b| {
+        b.iter(|| run_fig11(&data, 6));
+    });
+    g.bench_function("fig15a_proxy_selection", |b| {
+        b.iter(|| run_fig15a(&data, 8));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_powermodels);
+criterion_main!(benches);

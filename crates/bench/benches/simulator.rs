@@ -1,0 +1,35 @@
+//! Core-model simulation throughput: dynamic instructions simulated per
+//! second on POWER9 and POWER10 configurations, ST and SMT4.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p10_bench::QUICK_OPS;
+use p10_uarch::{Core, CoreConfig, SmtMode};
+use p10_workloads::specint_like;
+
+fn bench_simulator(c: &mut Criterion) {
+    let bench = &specint_like()[8]; // exchangeish: compact and fast
+    let trace = bench.workload(1).trace_or_panic(QUICK_OPS);
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(QUICK_OPS));
+    for cfg in [CoreConfig::power9(), CoreConfig::power10()] {
+        g.bench_function(format!("st/{}", cfg.name), |b| {
+            b.iter(|| Core::new(cfg.clone()).run(vec![trace.clone()], 10_000_000));
+        });
+    }
+    let mut smt = CoreConfig::power10();
+    smt.smt = SmtMode::Smt4;
+    g.throughput(Throughput::Elements(QUICK_OPS * 4));
+    g.bench_function("smt4/POWER10", |b| {
+        b.iter(|| {
+            Core::new(smt.clone()).run(
+                vec![trace.clone(), trace.clone(), trace.clone(), trace.clone()],
+                10_000_000,
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

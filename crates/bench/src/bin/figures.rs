@@ -1,0 +1,795 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! figures <experiment> [--json] [--ops N] [--out DIR]
+//! ```
+//! `--out DIR` captures each experiment's stdout into `DIR/<exp>.txt`
+//! (or `.json` with `--json`) as well as printing it.
+//! where `<experiment>` is one of: `table1 fig2 fig4 fig5 fig6 socket
+//! fig10 fig11 fig12 fig13 fig14 fig15a fig15b flushes coverage
+//! apex-speedup wof all`.
+
+use p10_bench::{suite, FULL_OPS};
+use p10_core::powerstudies::{build_dataset, run_fig11, run_fig12, run_fig15a, run_fig15b, Target};
+use p10_core::{ablation, flush, gemm, inference, rasstudy, scenario, socket, table1, tracestudy};
+use p10_kernels::models::{bert_large, resnet50};
+use p10_powermgmt::wof;
+use p10_uarch::CoreConfig;
+use p10_workloads::chopstix;
+use serde_json::json;
+
+struct Opts {
+    json: bool,
+    ops: u64,
+    out: Option<std::path::PathBuf>,
+}
+
+/// With `--out DIR`, re-runs the experiment as a child process in
+/// `--json` mode and stores its stdout as `DIR/<name>.json` (the run
+/// itself still prints human-readable output first). Experiments are
+/// deterministic, so the artifact matches what was just shown.
+fn write_artifact(opts: &Opts, name: &str) {
+    let Some(dir) = &opts.out else { return };
+    std::fs::create_dir_all(dir).expect("create --out dir");
+    let exe = std::env::current_exe().expect("own path");
+    let output = std::process::Command::new(exe)
+        .args([name, "--json", "--ops", &opts.ops.to_string()])
+        .output()
+        .expect("re-run experiment for artifact");
+    assert!(
+        output.status.success(),
+        "artifact run for {name} failed: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    // The experiment prints its header before the JSON payload; keep
+    // only the payload (first line starting with '{' or '[').
+    let text = String::from_utf8_lossy(&output.stdout);
+    let payload_start = text
+        .lines()
+        .scan(0usize, |off, line| {
+            let this = *off;
+            *off += line.len() + 1;
+            Some((this, line))
+        })
+        .find(|(_, line)| line.starts_with('{') || line.starts_with('['))
+        .map_or(0, |(off, _)| off);
+    std::fs::write(dir.join(format!("{name}.json")), &text[payload_start..])
+        .expect("write artifact");
+    println!("    [artifact: {}/{name}.json]", dir.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map_or("all", String::as_str).to_owned();
+    let opts = Opts {
+        json: args.iter().any(|a| a == "--json"),
+        ops: args
+            .iter()
+            .position(|a| a == "--ops")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(FULL_OPS),
+        out: args
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from),
+    };
+
+    let experiments: Vec<&str> = if what == "all" {
+        vec![
+            "table1",
+            "fig2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "socket",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15a",
+            "fig15b",
+            "flushes",
+            "coverage",
+            "apex-speedup",
+            "wof",
+            "tracepoints",
+            "sensitivity",
+            "smt",
+            "tracking",
+            "droop",
+        ]
+    } else {
+        vec![what.as_str()]
+    };
+
+    for e in experiments {
+        match e {
+            "table1" => do_table1(&opts),
+            "fig2" => do_fig2(&opts),
+            "fig4" => do_fig4(&opts),
+            "fig5" => do_fig5(&opts),
+            "fig6" => do_fig6(&opts),
+            "socket" => do_socket(&opts),
+            "fig10" => do_fig10(&opts),
+            "fig11" => do_fig11(&opts),
+            "fig12" => do_fig12(&opts),
+            "fig13" => do_fig13(&opts),
+            "fig14" => do_fig14(&opts),
+            "fig15a" => do_fig15a(&opts),
+            "fig15b" => do_fig15b(&opts),
+            "flushes" => do_flushes(&opts),
+            "coverage" => do_coverage(&opts),
+            "apex-speedup" => do_apex_speedup(&opts),
+            "wof" => do_wof(&opts),
+            "tracepoints" => do_tracepoints(&opts),
+            "sensitivity" => do_sensitivity(&opts),
+            "smt" => do_smt(&opts),
+            "tracking" => do_tracking(&opts),
+            "droop" => do_droop(&opts),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+        write_artifact(&opts, e);
+    }
+}
+
+fn header(title: &str, paper: &str) {
+    println!("\n=== {title} ===");
+    println!("    paper reference: {paper}");
+}
+
+fn do_table1(o: &Opts) {
+    header(
+        "Table I — chip features & efficiency projections",
+        "2.6x core perf/W, up to 3x socket",
+    );
+    let t = table1::run_table1(&suite(), 42, o.ops);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&t).expect("json"));
+        return;
+    }
+    println!("SMT per core                  : {}", t.smt_per_core);
+    println!(
+        "L2 per SMT8 core              : {:.1} MiB (paper: 2 MiB)",
+        t.l2_per_core_mib
+    );
+    println!(
+        "MMU (TLB) ratio vs POWER9     : {:.1}x (paper: 4x)",
+        t.mmu_ratio
+    );
+    println!(
+        "Core perf ratio               : {:.2}x (paper: ~1.3x)",
+        t.perf_ratio
+    );
+    println!(
+        "Core power ratio              : {:.2}x (paper: ~0.5x)",
+        t.power_ratio
+    );
+    println!(
+        "Core performance/watt         : {:.2}x (paper: 2.6x)",
+        t.perf_per_watt_core
+    );
+    println!(
+        "Socket-view efficiency (SMT2) : {:.2}x (paper: up to 3x)",
+        t.socket_efficiency
+    );
+}
+
+fn do_fig2(o: &Opts) {
+    header(
+        "Fig. 2 — optimal pipeline depth",
+        "optimum stable at 27 FO4 for 0.5x-1.0x power targets",
+    );
+    let f = p10_pipedepth::run_fig2(&p10_pipedepth::DepthParams::default(), &[0.25]);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&f).expect("json"));
+        return;
+    }
+    for &t in &f.power_targets {
+        println!("power target {t:.2}x: optimal FO4 = {}", f.optimal_fo4(t));
+    }
+    println!("curve (target=1.0): fo4 -> BIPS");
+    for p in f
+        .points
+        .iter()
+        .filter(|p| (p.power_target - 1.0).abs() < 1e-9)
+        .step_by(4)
+    {
+        println!("  {:>4.0}  {:.3}", p.fo4, p.bips);
+    }
+}
+
+fn do_fig4(o: &Opts) {
+    header(
+        "Fig. 4 — per-design-change performance gains",
+        "SMT8 SPECint: branch 4%, lat+BW 10%, L2 9%, decode+VSX 5%, queues 4%",
+    );
+    let f = ablation::run_fig4(&suite(), 42, o.ops / 2);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&f).expect("json"));
+        return;
+    }
+    println!(
+        "{:<20} {:>8} {:>8} {:>8}  max workload",
+        "group", "ST", "SMT", "max"
+    );
+    for r in &f.rows {
+        println!(
+            "{:<20} {:>7.1}% {:>7.1}% {:>7.1}%  {}",
+            r.group,
+            r.st_gain * 100.0,
+            r.smt_gain * 100.0,
+            r.max_gain * 100.0,
+            r.max_workload
+        );
+    }
+}
+
+fn do_fig5(o: &Opts) {
+    header(
+        "Fig. 5 — DGEMM flops/cycle & core power",
+        "P10 VSU 1.95x @ -32.2%; P10 MMA 5.47x @ -24.1%; 62.1%/87.1% of peak",
+    );
+    let f = gemm::run_fig5(o.ops);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&f).expect("json"));
+        return;
+    }
+    for p in [&f.p9_vsu, &f.p10_vsu, &f.p10_mma] {
+        println!(
+            "{:<24} {:>6.2} flops/cyc ({:>5.1}% of peak)  core power {:>7.1}",
+            p.label,
+            p.flops_per_cycle,
+            p.peak_utilization * 100.0,
+            p.core_power
+        );
+    }
+    println!(
+        "VSU speedup {:.2}x (paper 1.95x)   power {:+.1}% (paper -32.2%)",
+        f.vsu_speedup(),
+        f.vsu_power_delta() * 100.0
+    );
+    println!(
+        "MMA speedup {:.2}x (paper 5.47x)   power {:+.1}% (paper -24.1%)",
+        f.mma_speedup(),
+        f.mma_power_delta() * 100.0
+    );
+}
+
+fn do_fig6(o: &Opts) {
+    header(
+        "Fig. 6 — end-to-end inference",
+        "ResNet-50: 2.25x/3.55x; BERT-Large: 2.08x/3.64x (no-MMA/MMA)",
+    );
+    for model in [resnet50(100), bert_large(8, 384)] {
+        let f = inference::run_fig6(&model, o.ops / 2);
+        if o.json {
+            println!("{}", serde_json::to_string_pretty(&f).expect("json"));
+            continue;
+        }
+        println!("-- {} --", f.model);
+        println!(
+            "{:<16} {:>12} {:>12} {:>7} {:>10}",
+            "config", "instructions", "cycles", "CPI", "GEMM-ratio"
+        );
+        for r in [&f.p9, &f.p10_no_mma, &f.p10_mma] {
+            println!(
+                "{:<16} {:>12.3e} {:>12.3e} {:>7.3} {:>10.2}",
+                r.config,
+                r.instructions,
+                r.cycles,
+                r.cpi(),
+                r.gemm_inst_ratio
+            );
+        }
+        println!(
+            "speedups: no-MMA {:.2}x, MMA {:.2}x",
+            f.speedup_no_mma(),
+            f.speedup_mma()
+        );
+    }
+}
+
+fn do_socket(o: &Opts) {
+    header(
+        "Socket-level AI projections",
+        "up to 10x FP32 and 21x INT8 over POWER9",
+    );
+    let p10 = CoreConfig::power10();
+    for model in [resnet50(100), bert_large(8, 384)] {
+        let f = inference::run_fig6(&model, o.ops / 2);
+        let int8 = inference::compose_int8(&model, &p10, o.ops / 2);
+        let p = socket::project_socket_measured(&f, &int8, &socket::SocketScaling::default());
+        if o.json {
+            println!("{}", serde_json::to_string_pretty(&p).expect("json"));
+            continue;
+        }
+        println!(
+            "{:<12} core {:.2}x  socket FP32 {:.1}x (paper up to 10x)  INT8 {:.1}x (paper up to 21x)",
+            p.model, p.core_speedup, p.fp32_socket_speedup, p.int8_socket_speedup
+        );
+    }
+}
+
+fn do_fig10(o: &Opts) {
+    header(
+        "Fig. 10 — core-model vs chip-model power/IPC scatter",
+        "memory-bound simpoints diverge between models",
+    );
+    let pts = p10_apex::run_fig10(&suite(), 4, o.ops / 10);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&pts).expect("json"));
+        return;
+    }
+    println!(
+        "{:<14} {:>4} {:>6} {:>8} {:>10}",
+        "bench", "snip", "model", "IPC", "core power"
+    );
+    for p in &pts {
+        println!(
+            "{:<14} {:>4} {:>6} {:>8.3} {:>10.1}",
+            p.bench,
+            p.snippet,
+            match p.model {
+                p10_apex::ApexModel::Core => "core",
+                p10_apex::ApexModel::Chip => "chip",
+            },
+            p.ipc,
+            p.core_power
+        );
+    }
+}
+
+fn fig11_dataset(o: &Opts) -> p10_powermodel::Dataset {
+    build_dataset(
+        &CoreConfig::power10(),
+        &suite(),
+        &[1, 2],
+        o.ops / 2,
+        512,
+        Target::ActivePower,
+    )
+}
+
+fn do_fig11(o: &Opts) {
+    header(
+        "Fig. 11 — M1-linked power model error vs #inputs",
+        "error falls with inputs; <2.5% active at max inputs",
+    );
+    let data = fig11_dataset(o);
+    let curves = run_fig11(&data, 12);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&curves).expect("json"));
+        return;
+    }
+    for c in &curves {
+        println!("-- {} --", c.label);
+        for p in &c.points {
+            println!(
+                "  inputs {:>2}: test err {:>6.2}%  train err {:>6.2}%",
+                p.inputs, p.test_error_pct, p.train_error_pct
+            );
+        }
+    }
+}
+
+fn do_fig12(o: &Opts) {
+    header(
+        "Fig. 12 — top-down vs bottom-up power models",
+        "models differ by 3.42% on average; 72 events total bottom-up",
+    );
+    let cfg = CoreConfig::power10();
+    let sweep_suite = suite();
+    let total = build_dataset(
+        &cfg,
+        &sweep_suite[..6],
+        &[1],
+        o.ops / 3,
+        512,
+        Target::TotalPower,
+    );
+    let components: Vec<_> = (0..39)
+        .map(|i| {
+            build_dataset(
+                &cfg,
+                &sweep_suite[..6],
+                &[1],
+                o.ops / 3,
+                512,
+                Target::Component(i),
+            )
+        })
+        .collect();
+    let f = run_fig12(&total, &components, 12, 3);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&f).expect("json"));
+        return;
+    }
+    println!(
+        "model difference   : {:.2}% (paper 3.42%)",
+        f.mean_model_difference_pct
+    );
+    println!(
+        "bottom-up events   : {} across 39 components (paper 72)",
+        f.bottom_up_events
+    );
+    println!("top-down events    : {}", f.top_down_events);
+    println!(
+        "held-out error     : top-down {:.2}%, bottom-up {:.2}%",
+        f.top_down_error_pct, f.bottom_up_error_pct
+    );
+}
+
+fn do_fig13(o: &Opts) {
+    header(
+        "Fig. 13 — derating per testcase",
+        "VT=10% leaves ~25% vulnerable; VT=90% ~52%",
+    );
+    let f = rasstudy::run_fig13(&CoreConfig::power10(), o.ops / 6, 3);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&f).expect("json"));
+        return;
+    }
+    println!(
+        "{:<20} {:>8} {:>8} {:>8} {:>8}",
+        "testcase", "static", "VT=10%", "VT=50%", "VT=90%"
+    );
+    for r in &f.rows {
+        println!(
+            "{:<20} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+            r.testcase, r.static_pct, r.runtime_vt10, r.runtime_vt50, r.runtime_vt90
+        );
+    }
+}
+
+fn do_fig14(o: &Opts) {
+    header(
+        "Fig. 14 — POWER9 vs POWER10 derating vs VT",
+        "P10 runtime derating higher (6%→21% gap); static ~10% lower",
+    );
+    let f = rasstudy::run_fig14(o.ops / 6, &[0.1, 0.3, 0.5, 0.7, 0.9]);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&f).expect("json"));
+        return;
+    }
+    println!(
+        "static derating: P9 {:.1}%  P10 {:.1}%",
+        f.p9.static_pct, f.p10.static_pct
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>8}",
+        "VT", "P9 runtime", "P10 runtime", "gap"
+    );
+    for ((vt, r9), (_, r10)) in f.p9.runtime_by_vt.iter().zip(f.p10.runtime_by_vt.iter()) {
+        println!(
+            "{:>5.0}% {:>9.1}% {:>9.1}% {:>+7.1}%",
+            vt * 100.0,
+            r9,
+            r10,
+            r10 - r9
+        );
+    }
+}
+
+fn do_fig15a(o: &Opts) {
+    header(
+        "Fig. 15(a) — power-proxy error vs #counters",
+        "16 counters → 9.8% active-power error (<5% incl. static)",
+    );
+    let data = fig11_dataset(o);
+    let sweep = run_fig15a(&data, 16);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&sweep).expect("json"));
+        return;
+    }
+    for p in &sweep {
+        println!(
+            "  counters {:>2}: active-power err {:>6.2}%",
+            p.inputs, p.test_error_pct
+        );
+    }
+}
+
+fn do_fig15b(o: &Opts) {
+    header(
+        "Fig. 15(b) — proxy error vs time granularity",
+        "predicting every >=50 cycles is near-best; finer degrades fast",
+    );
+    let pts = run_fig15b(
+        &CoreConfig::power10(),
+        &suite()[8],
+        o.ops / 2,
+        &[8, 16, 32, 64, 128, 256, 512],
+        8,
+        0.35,
+    );
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&pts).expect("json"));
+        return;
+    }
+    for p in &pts {
+        println!(
+            "  window {:>4} cycles: err {:>6.2}%",
+            p.window_cycles, p.error_pct
+        );
+    }
+}
+
+fn do_flushes(o: &Opts) {
+    header(
+        "Flush study — wasted instructions",
+        "-25% SPECint, -38% interpreted/analytics",
+    );
+    let s = flush::run_flush_study(42, o.ops / 2);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&s).expect("json"));
+        return;
+    }
+    for r in &s.rows {
+        println!(
+            "{:<16} P9 {:>6.3} P10 {:>6.3} waste/inst  reduction {:>6.1}%",
+            r.workload,
+            r.p9_waste_per_inst,
+            r.p10_waste_per_inst,
+            r.reduction() * 100.0
+        );
+    }
+    println!(
+        "SPECint mean reduction      : {:.1}% (paper 25%)",
+        s.specint_reduction() * 100.0
+    );
+    println!(
+        "interpreted/analytics mean  : {:.1}% (paper 38%)",
+        s.interpreted_reduction() * 100.0
+    );
+}
+
+fn do_coverage(o: &Opts) {
+    header(
+        "Proxy coverage — Chopstix top-10 hot functions",
+        "coverage 41% (gcc) to 99% (xz), ~70% average",
+    );
+    let workloads: Vec<_> = suite().iter().map(|b| b.workload(23)).collect();
+    let rows = chopstix::coverage_table(&workloads, o.ops, 10);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+        return;
+    }
+    let mut sum = 0.0;
+    for r in &rows {
+        println!(
+            "{:<16} proxies {:>2}  coverage {:>5.1}%",
+            r.workload,
+            r.proxies,
+            r.coverage * 100.0
+        );
+        sum += r.coverage;
+    }
+    println!(
+        "average coverage: {:.1}% (paper ~70%)",
+        sum / rows.len() as f64 * 100.0
+    );
+}
+
+fn do_apex_speedup(o: &Opts) {
+    header(
+        "APEX speedup — detailed vs counter-based extraction",
+        "~5000x on AWAN hardware; software analog shows the asymmetry",
+    );
+    let b = &suite()[8];
+    let t = b.workload(5).trace_or_panic(o.ops / 2);
+    let s = p10_apex::measure_speedup(&CoreConfig::power10(), &t, 10_000_000);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&s).expect("json"));
+        return;
+    }
+    println!(
+        "detailed {:.3}s vs APEX {:.3}s -> {:.1}x speedup",
+        s.detailed_secs, s.apex_secs, s.speedup
+    );
+}
+
+fn do_wof(o: &Opts) {
+    header(
+        "WOF — workload-optimized frequency",
+        "light workloads boost under the envelope; MMA gating reclaims leakage",
+    );
+    // Effective capacitance ratios from measured suite dynamic power.
+    let cfg = CoreConfig::power10();
+    let results = scenario::run_suite(&cfg, &suite(), 42, o.ops / 3);
+    let ref_power = results
+        .results
+        .iter()
+        .map(|r| r.power.active())
+        .fold(0.0f64, f64::max);
+    let wcfg = wof::WofConfig::typical();
+    let mut rows = Vec::new();
+    for r in &results.results {
+        let ceff = wof::ceff_ratio(r.power.active(), ref_power);
+        let d = wof::solve(&wcfg, ceff, 0.0);
+        let d_gated = wof::solve(&wcfg, ceff, 2.0);
+        rows.push(json!({
+            "workload": r.workload,
+            "ceff": ceff,
+            "freq_ghz": d.point.freq,
+            "boost": d.boost,
+            "freq_with_mma_gated": d_gated.point.freq,
+        }));
+        if !o.json {
+            println!(
+                "{:<16} Ceff {:>5.2}  f = {:.2} GHz (boost {:>5.2}x), {:.2} GHz with MMA gated",
+                r.workload, ceff, d.point.freq, d.boost, d_gated.point.freq
+            );
+        }
+    }
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+    }
+}
+
+fn do_sensitivity(o: &Opts) {
+    header(
+        "Design-choice sensitivity",
+        "SS II-B mechanisms toggled off one at a time on POWER10",
+    );
+    let rows = p10_core::sensitivity::run_sensitivity(&suite(), 42, o.ops / 2);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+        return;
+    }
+    println!(
+        "{:<26} {:>10} {:>10} {:>12}",
+        "mechanism", "perf", "power", "energy/inst"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>+9.1}% {:>+9.1}% {:>+11.1}%",
+            r.label,
+            r.perf_benefit * 100.0,
+            r.power_benefit * 100.0,
+            r.efficiency_benefit * 100.0
+        );
+    }
+}
+
+fn do_smt(o: &Opts) {
+    header(
+        "SMT throughput scaling",
+        "Table I: 8-way SMT per core; deeper P10 queues sustain threads",
+    );
+    let suite = suite();
+    let sel: Vec<_> = [8usize, 2, 7, 0]
+        .iter()
+        .map(|&i| suite[i].clone())
+        .collect();
+    let s = p10_core::smtscale::run_smt_scaling(&sel, 42, o.ops / 4);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&s).expect("json"));
+        return;
+    }
+    println!(
+        "{:<10} {:>8} {:>14} {:>9}",
+        "machine", "threads", "aggregate IPC", "scaling"
+    );
+    for p in &s.points {
+        println!(
+            "{:<10} {:>8} {:>14.3} {:>8.2}x",
+            p.config, p.threads, p.aggregate_ipc, p.scaling
+        );
+    }
+}
+
+fn do_tracking(o: &Opts) {
+    header(
+        "SS III-B tracked metrics",
+        "IPC, core power, efficiency, latches, % clock enabled, switching",
+    );
+    let suite = suite();
+    let sel = &suite[..4];
+    let rows = [
+        p10_core::tracking::track(&CoreConfig::power9(), sel, 42, o.ops / 6),
+        p10_core::tracking::track(&CoreConfig::power10(), sel, 42, o.ops / 6),
+    ];
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+        return;
+    }
+    println!(
+        "{:<10} {:>6} {:>10} {:>11} {:>10} {:>9} {:>10} {:>9}",
+        "machine", "IPC", "core pwr", "efficiency", "latches", "clk-en%", "potential", "obs/pot"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>6.2} {:>10.1} {:>11.5} {:>10.0} {:>8.1}% {:>10.3} {:>9.2}",
+            r.config,
+            r.ipc,
+            r.core_power,
+            r.core_efficiency,
+            r.latches,
+            r.clock_enabled_pct,
+            r.potential_switching,
+            r.observed_ratio
+        );
+    }
+}
+
+fn do_droop(o: &Opts) {
+    header(
+        "Workload-transition droop",
+        "SS IV-B: sudden workload change droops the rail; the DDS clips it",
+    );
+    use p10_powermgmt::throttle::{demand_from_power, simulate_droop, DroopSensor, PdnModel};
+    // Real transition: idle-ish scalar loop into the MMA DGEMM kernel.
+    let scalar = suite()[8].workload(3).trace_or_panic(o.ops / 8);
+    let mut ops_list = scalar.ops;
+    let kernel = p10_kernels::gemm::dgemm_mma(1 << 40).trace_or_panic(o.ops / 4);
+    // The kernel workload uses its own memory image; for the droop demand
+    // we only need the power series, so run the two phases separately.
+    let cfg = CoreConfig::power10();
+    let model = p10_power::PowerModel::for_config(&cfg);
+    let phase_power = |trace: p10_isa::Trace| -> Vec<f64> {
+        let report = p10_apex::run_apex(&cfg, vec![trace], 256, 10_000_000);
+        report
+            .windows
+            .iter()
+            .map(|w| model.evaluate(&w.activity).core_total())
+            .collect()
+    };
+    ops_list.truncate(o.ops as usize / 8);
+    let mut powers = phase_power(p10_isa::Trace { ops: ops_list });
+    let p_ref = powers.iter().copied().fold(0.0f64, f64::max).max(1.0);
+    powers.extend(phase_power(kernel));
+    let demand = demand_from_power(&powers, p_ref);
+    let pdn = PdnModel::default();
+    let free = simulate_droop(&pdn, None, &demand);
+    let protected = simulate_droop(&pdn, Some(&DroopSensor::default()), &demand);
+    if o.json {
+        println!(
+            "{}",
+            serde_json::json!({
+                "max_droop_unprotected": free.max_droop,
+                "max_droop_with_dds": protected.max_droop,
+                "engagements": protected.engagements,
+                "windows": demand.len(),
+            })
+        );
+        return;
+    }
+    println!(
+        "scalar -> MMA-kernel transition over {} power windows:",
+        demand.len()
+    );
+    println!(
+        "worst droop without DDS {:.1}%  |  with DDS {:.1}% ({} engagements)",
+        free.max_droop * 100.0,
+        protected.max_droop * 100.0,
+        protected.engagements
+    );
+}
+
+fn do_tracepoints(o: &Opts) {
+    header(
+        "Tracepoints vs Simpoints",
+        "counter-histogram epochs beat BBVs on phased/interpreted code",
+    );
+    let w = p10_workloads::suite::phased_pointer_chase(2_000);
+    let s = tracestudy::run_trace_study(&CoreConfig::power10(), &w, o.ops, 1_500, 3);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&s).expect("json"));
+        return;
+    }
+    println!(
+        "full CPI {:.3} | simpoint est {:.3} (err {:.1}%) | tracepoint est {:.3} (err {:.1}%)",
+        s.full_cpi,
+        s.simpoint_cpi,
+        s.simpoint_error * 100.0,
+        s.tracepoint_cpi,
+        s.tracepoint_error * 100.0
+    );
+}

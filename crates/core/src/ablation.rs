@@ -1,0 +1,139 @@
+//! The Fig. 4 experiment: performance effect of each POWER9→POWER10
+//! design-change group, for ST and SMT4 ("SMT8" at the full-core level),
+//! averaged over the SPECint-like suite, with maximum gains across the
+//! extended workload groups (the stars in Fig. 4).
+//!
+//! Paper averages for SMT8 SPECint: branch ≈4%, latency+BW ≈10%,
+//! L2 ≈9%, decode+double-VSX ≈5%, queues ≈4%; ML/analytics workloads gain
+//! close to 2× from the doubled VSX units alone.
+
+use crate::scenario::{geomean, run_benchmark};
+use p10_uarch::{AblationGroup, CoreConfig, SmtMode};
+use p10_workloads::suite::extended_groups;
+use p10_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+
+/// Per-group result row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// The design-change group label (Fig. 4 x-axis).
+    pub group: String,
+    /// Mean ST gain over the SPECint-like suite (fraction, e.g. 0.04).
+    pub st_gain: f64,
+    /// Mean SMT4 gain over the suite.
+    pub smt_gain: f64,
+    /// Maximum gain observed across all workload groups (the star).
+    pub max_gain: f64,
+    /// Which workload produced the maximum gain.
+    pub max_workload: String,
+}
+
+/// The full Fig. 4 dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    /// One row per design-change group, in Fig. 4 order.
+    pub rows: Vec<AblationRow>,
+}
+
+fn suite_perf(cfg: &CoreConfig, suite: &[Benchmark], seed: u64, ops: u64) -> Vec<(String, f64)> {
+    suite
+        .iter()
+        .map(|b| (b.name.clone(), run_benchmark(cfg, b, seed, ops).ipc()))
+        .collect()
+}
+
+/// Runs the Fig. 4 ablation: groups applied cumulatively in Fig. 4 order,
+/// measuring each group's incremental gain.
+#[must_use]
+pub fn run_fig4(suite: &[Benchmark], seed: u64, ops: u64) -> Fig4 {
+    let extended = extended_groups();
+    let modes = [SmtMode::St, SmtMode::Smt4];
+
+    // perf[mode][step][bench] for suite, ext_perf likewise for extended.
+    let mut rows = Vec::new();
+    let mut prev_cfgs: Vec<CoreConfig> = modes
+        .iter()
+        .map(|&m| {
+            let mut c = CoreConfig::power9();
+            c.smt = m;
+            c
+        })
+        .collect();
+    let mut prev_suite: Vec<Vec<(String, f64)>> = prev_cfgs
+        .iter()
+        .map(|c| suite_perf(c, suite, seed, ops))
+        .collect();
+    let mut prev_ext: Vec<(String, f64)> = suite_perf(&prev_cfgs[1], &extended, seed, ops);
+
+    for group in AblationGroup::ALL {
+        let mut st_gain = 0.0;
+        let mut smt_gain = 0.0;
+        let mut max_gain = f64::MIN;
+        let mut max_workload = String::new();
+        for (mi, _) in modes.iter().enumerate() {
+            let mut cfg = prev_cfgs[mi].clone();
+            cfg.apply(group);
+            cfg.name = format!("{}+{:?}", prev_cfgs[mi].name, group);
+            let cur = suite_perf(&cfg, suite, seed, ops);
+            let gain = geomean(
+                cur.iter()
+                    .zip(prev_suite[mi].iter())
+                    .map(|((_, new), (_, old))| new / old.max(1e-12)),
+            ) - 1.0;
+            if mi == 0 {
+                st_gain = gain;
+            } else {
+                smt_gain = gain;
+                // Stars: max per-workload gain across suite + extended
+                // groups in the SMT mode.
+                let cur_ext = suite_perf(&cfg, &extended, seed, ops);
+                for ((name, new), (_, old)) in cur
+                    .iter()
+                    .chain(cur_ext.iter())
+                    .zip(prev_suite[mi].iter().chain(prev_ext.iter()))
+                {
+                    let g = new / old.max(1e-12) - 1.0;
+                    if g > max_gain {
+                        max_gain = g;
+                        max_workload = name.clone();
+                    }
+                }
+                prev_ext = cur_ext;
+            }
+            prev_cfgs[mi] = cfg;
+            prev_suite[mi] = cur;
+        }
+        rows.push(AblationRow {
+            group: group.label().to_owned(),
+            st_gain,
+            smt_gain,
+            max_gain,
+            max_workload,
+        });
+    }
+    Fig4 { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p10_workloads::specint_like;
+
+    #[test]
+    fn fig4_has_five_positive_aggregate_rows() {
+        // Small op budget keeps the test quick; shape only.
+        let suite = specint_like();
+        let f = run_fig4(&suite[..4], 7, 12_000);
+        assert_eq!(f.rows.len(), 5);
+        let total: f64 = f.rows.iter().map(|r| (1.0 + r.smt_gain).ln()).sum();
+        assert!(
+            total.exp() > 1.1,
+            "cumulative SMT gain must be substantial, got {}",
+            total.exp()
+        );
+        for r in &f.rows {
+            assert!(r.max_gain >= r.smt_gain - 1e-9);
+            assert!(!r.max_workload.is_empty());
+        }
+    }
+}

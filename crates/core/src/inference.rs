@@ -1,0 +1,331 @@
+//! The Fig. 6 experiment: end-to-end CPU inference of ResNet-50 and
+//! BERT-Large on POWER9, POWER10 without MMA, and POWER10 with MMA.
+//!
+//! Method (mirroring the paper's §II-C.2 trace-based modeling): the GEMM
+//! kernel for each machine is measured on the cycle model (flops/cycle
+//! and instructions/flop, with the SGEMM panels mapped to the VSU when
+//! the MMA is absent/disabled and to `xvf32gerpp` panels when enabled);
+//! the model graph then composes per-layer cycles with a roofline term
+//! for weight/activation streaming, and non-GEMM work runs at the
+//! machine's measured vector/elementwise rates.
+
+use crate::scenario::run_traces;
+use p10_kernels::gemm::{bf16gemm_mma, int8gemm_mma, sgemm_mma, sgemm_vsu};
+use p10_kernels::models::ModelGraph;
+use p10_uarch::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// Measured kernel characteristics on one machine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct KernelRates {
+    /// Single-precision flops per cycle in the GEMM inner kernel.
+    pub gemm_flops_per_cycle: f64,
+    /// Instructions per flop in the GEMM inner kernel.
+    pub gemm_inst_per_flop: f64,
+}
+
+/// Machine-level rates used by the analytic composition.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MachineRates {
+    /// GEMM kernel rates (measured on the cycle model).
+    pub kernel: KernelRates,
+    /// Elementwise (activation/normalization) flops per cycle.
+    pub elementwise_flops_per_cycle: f64,
+    /// Sustained streaming bandwidth, bytes per cycle.
+    pub stream_bytes_per_cycle: f64,
+}
+
+/// One machine's Fig. 6 bar group (absolute values; ratios are taken
+/// against the POWER9 row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceRun {
+    /// Configuration label.
+    pub config: String,
+    /// Estimated total instructions.
+    pub instructions: f64,
+    /// Estimated total cycles.
+    pub cycles: f64,
+    /// Fraction of instructions in GEMM kernels.
+    pub gemm_inst_ratio: f64,
+}
+
+impl InferenceRun {
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        self.cycles / self.instructions
+    }
+}
+
+/// The Fig. 6 dataset for one model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6Model {
+    /// Model name.
+    pub model: String,
+    /// POWER9 baseline.
+    pub p9: InferenceRun,
+    /// POWER10 with the MMA disabled (VSU SGEMM).
+    pub p10_no_mma: InferenceRun,
+    /// POWER10 with the MMA enabled.
+    pub p10_mma: InferenceRun,
+}
+
+impl Fig6Model {
+    /// Speedup of the no-MMA POWER10 core over POWER9 (paper: 2.25×
+    /// ResNet-50, 2.08× BERT-Large).
+    #[must_use]
+    pub fn speedup_no_mma(&self) -> f64 {
+        self.p9.cycles / self.p10_no_mma.cycles
+    }
+
+    /// Speedup of the MMA-enabled POWER10 core over POWER9 (paper: 3.55×
+    /// ResNet-50, 3.64× BERT-Large).
+    #[must_use]
+    pub fn speedup_mma(&self) -> f64 {
+        self.p9.cycles / self.p10_mma.cycles
+    }
+}
+
+/// Measures the SGEMM kernel on a configuration.
+#[must_use]
+pub fn measure_kernel(cfg: &CoreConfig, ops: u64) -> KernelRates {
+    let kernel = if cfg.mma.is_some() {
+        sgemm_mma(1 << 40)
+    } else {
+        sgemm_vsu(1 << 40)
+    };
+    let trace = kernel.trace_or_panic(ops);
+    let flops = trace.total_flops() as f64;
+    let insts = trace.len() as f64;
+    let r = run_traces(cfg, &kernel.name, vec![trace]);
+    KernelRates {
+        gemm_flops_per_cycle: r.sim.activity.flops_per_cycle(),
+        gemm_inst_per_flop: insts / flops,
+    }
+}
+
+/// Derives the full machine rates (kernel measured, elementwise and
+/// bandwidth from configuration parameters).
+#[must_use]
+pub fn machine_rates(cfg: &CoreConfig, ops: u64) -> MachineRates {
+    MachineRates {
+        kernel: measure_kernel(cfg, ops),
+        // Elementwise vector code sustains ~half the SP peak of the pipes.
+        elementwise_flops_per_cycle: f64::from(cfg.vsx_units) * 8.0 * 0.5,
+        // Sustained streaming: about half the raw load-port bandwidth.
+        stream_bytes_per_cycle: f64::from(cfg.load_ports) * f64::from(cfg.load_bytes) * 0.5,
+    }
+}
+
+/// Composes the end-to-end estimate for one model on one machine.
+#[must_use]
+pub fn compose(model: &ModelGraph, cfg_name: &str, rates: &MachineRates) -> InferenceRun {
+    let mut cycles = 0.0;
+    let mut gemm_inst = 0.0;
+    let mut other_inst = 0.0;
+    for layer in &model.layers {
+        let gemm_flops = layer.gemm.map_or(0.0, |g| g.flops() as f64);
+        let ew = layer.elementwise_flops as f64;
+        let moved = layer.moved_bytes as f64;
+        let compute =
+            gemm_flops / rates.kernel.gemm_flops_per_cycle + ew / rates.elementwise_flops_per_cycle;
+        let memory = moved / rates.stream_bytes_per_cycle;
+        // Roofline: compute and streaming overlap; the layer takes the max.
+        cycles += compute.max(memory);
+        gemm_inst += gemm_flops * rates.kernel.gemm_inst_per_flop;
+        // Elementwise: ~4 flops per vector op plus a load and a store per
+        // 4 elements; streaming: one 16-byte access + loop overhead.
+        other_inst += ew * 0.75 + moved / 16.0 * 1.3;
+    }
+    let instructions = gemm_inst + other_inst;
+    InferenceRun {
+        config: cfg_name.to_owned(),
+        instructions,
+        cycles,
+        gemm_inst_ratio: gemm_inst / instructions,
+    }
+}
+
+/// Runs the Fig. 6 experiment for one model graph.
+#[must_use]
+pub fn run_fig6(model: &ModelGraph, kernel_ops: u64) -> Fig6Model {
+    let p9 = CoreConfig::power9();
+    let p10n = CoreConfig::power10_no_mma();
+    let p10 = CoreConfig::power10();
+    Fig6Model {
+        model: model.name.clone(),
+        p9: compose(model, &p9.name, &machine_rates(&p9, kernel_ops)),
+        p10_no_mma: compose(model, &p10n.name, &machine_rates(&p10n, kernel_ops)),
+        p10_mma: compose(model, &p10.name, &machine_rates(&p10, kernel_ops)),
+    }
+}
+
+/// Measures the INT8 GEMM kernel (`xvi8ger4pp` panels) on a
+/// configuration. Rates are in int-op equivalents per cycle (2 per MAC),
+/// directly comparable with FP32 flops for the same GEMM shape.
+///
+/// # Panics
+///
+/// Panics if the configuration has no MMA.
+#[must_use]
+pub fn measure_kernel_int8(cfg: &CoreConfig, ops: u64) -> KernelRates {
+    assert!(cfg.mma.is_some(), "INT8 GEMM requires the MMA");
+    let kernel = int8gemm_mma(1 << 40);
+    let trace = kernel.trace_or_panic(ops);
+    let flops = trace.total_flops() as f64;
+    let insts = trace.len() as f64;
+    let r = run_traces(cfg, &kernel.name, vec![trace]);
+    KernelRates {
+        gemm_flops_per_cycle: r.sim.activity.flops_per_cycle(),
+        gemm_inst_per_flop: insts / flops,
+    }
+}
+
+/// Composes the INT8 variant of an inference run: GEMMs run at the
+/// measured INT8 rate, weight/activation streaming shrinks (1-byte
+/// elements), and quantize/dequantize work inflates the elementwise part.
+#[must_use]
+pub fn compose_int8(model: &ModelGraph, cfg: &CoreConfig, kernel_ops: u64) -> InferenceRun {
+    let mut rates = machine_rates(cfg, kernel_ops);
+    rates.kernel = measure_kernel_int8(cfg, kernel_ops);
+    // The i32 accumulator tiles must be requantized to i8 in the kernel
+    // epilogue (saturating downconversion + scale), which the raw
+    // inner-loop measurement does not include; it costs roughly 30% of
+    // the sustained rate in production INT8 GEMMs.
+    rates.kernel.gemm_flops_per_cycle *= 0.7;
+    let mut quantized = model.clone();
+    for layer in &mut quantized.layers {
+        // Quantize/dequantize and re-scale work around every GEMM: a
+        // substantial elementwise inflation (this is why production INT8
+        // lands near 2x over FP32 rather than the raw 4x grid rate);
+        // INT8 tensors stream at under half the FP32 bytes.
+        layer.elementwise_flops = (layer.elementwise_flops as f64 * 3.0) as u64;
+        layer.moved_bytes = (layer.moved_bytes as f64 * 0.4) as u64;
+    }
+    compose(&quantized, &format!("{}-INT8", cfg.name), &rates)
+}
+
+/// Measures the BF16 GEMM kernel (`xvbf16ger2pp` panels). Rates are in
+/// f32-accumulated flops per cycle, directly comparable with FP32 flops
+/// for the same GEMM shape.
+///
+/// # Panics
+///
+/// Panics if the configuration has no MMA.
+#[must_use]
+pub fn measure_kernel_bf16(cfg: &CoreConfig, ops: u64) -> KernelRates {
+    assert!(cfg.mma.is_some(), "BF16 GEMM requires the MMA");
+    let kernel = bf16gemm_mma(1 << 40);
+    let trace = kernel.trace_or_panic(ops);
+    let flops = trace.total_flops() as f64;
+    let insts = trace.len() as f64;
+    let r = run_traces(cfg, &kernel.name, vec![trace]);
+    KernelRates {
+        gemm_flops_per_cycle: r.sim.activity.flops_per_cycle(),
+        gemm_inst_per_flop: insts / flops,
+    }
+}
+
+/// Composes the BF16 variant of an inference run: GEMMs run at the
+/// measured BF16 rate, tensors stream at 2 bytes per element, and the
+/// elementwise part grows only mildly (f32↔bf16 converts around each
+/// GEMM — no quantization scales, which is BF16's deployment advantage
+/// over INT8).
+#[must_use]
+pub fn compose_bf16(model: &ModelGraph, cfg: &CoreConfig, kernel_ops: u64) -> InferenceRun {
+    let mut rates = machine_rates(cfg, kernel_ops);
+    rates.kernel = measure_kernel_bf16(cfg, kernel_ops);
+    // Epilogue: the f32 accumulator tiles are narrowed to bf16 on store —
+    // a light cost next to INT8's saturating requantization.
+    rates.kernel.gemm_flops_per_cycle *= 0.9;
+    let mut halved = model.clone();
+    for layer in &mut halved.layers {
+        layer.elementwise_flops = (layer.elementwise_flops as f64 * 1.3) as u64;
+        layer.moved_bytes = (layer.moved_bytes as f64 * 0.55) as u64;
+    }
+    compose(&halved, &format!("{}-BF16", cfg.name), &rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p10_kernels::models::{bert_large, resnet50};
+
+    #[test]
+    fn kernel_rates_sane() {
+        let p9 = measure_kernel(&CoreConfig::power9(), 20_000);
+        let p10 = measure_kernel(&CoreConfig::power10(), 20_000);
+        assert!(p9.gemm_flops_per_cycle > 2.0);
+        assert!(p10.gemm_flops_per_cycle > p9.gemm_flops_per_cycle * 2.0);
+        // MMA does far more flops per instruction.
+        assert!(p10.gemm_inst_per_flop < p9.gemm_inst_per_flop / 2.0);
+    }
+
+    #[test]
+    fn fig6_shape_matches_paper() {
+        let resnet = run_fig6(&resnet50(100), 20_000);
+        let bert = run_fig6(&bert_large(8, 384), 20_000);
+        // MMA speedups in the 3-5x band (paper 3.55/3.64), larger than the
+        // no-MMA speedups (paper 2.25/2.08).
+        for f in [&resnet, &bert] {
+            assert!(
+                f.speedup_mma() > f.speedup_no_mma(),
+                "{}: MMA {} vs no-MMA {}",
+                f.model,
+                f.speedup_mma(),
+                f.speedup_no_mma()
+            );
+            assert!(f.speedup_mma() > 2.5 && f.speedup_mma() < 6.0);
+            assert!(f.speedup_no_mma() > 1.4 && f.speedup_no_mma() < 3.2);
+            // MMA slashes total instructions.
+            assert!(f.p10_mma.instructions < f.p9.instructions * 0.7);
+            // CPI rises with MMA (fewer, denser instructions).
+            assert!(f.p10_mma.cpi() > f.p10_no_mma.cpi());
+        }
+        // Paper: BERT's no-MMA speedup is lower than ResNet's...
+        assert!(bert.speedup_no_mma() < resnet.speedup_no_mma());
+    }
+
+    #[test]
+    fn int8_outruns_fp32_mma() {
+        let model = resnet50(100);
+        let cfg = CoreConfig::power10();
+        let fp32 = run_fig6(&model, 20_000);
+        let int8 = compose_int8(&model, &cfg, 20_000);
+        let ratio = fp32.p10_mma.cycles / int8.cycles;
+        // INT8 runs the grid at up to 2x the MAC rate with 4-deep dots;
+        // end-to-end the paper projects roughly 2x over FP32 (21x vs 10x
+        // at socket level). Amdahl keeps it under the raw grid ratio.
+        assert!(
+            ratio > 1.4 && ratio < 4.0,
+            "INT8/FP32 end-to-end ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn bf16_lands_between_fp32_and_int8() {
+        let model = resnet50(100);
+        let cfg = CoreConfig::power10();
+        let fp32 = run_fig6(&model, 20_000);
+        let bf16 = compose_bf16(&model, &cfg, 20_000);
+        let int8 = compose_int8(&model, &cfg, 20_000);
+        // The precision ladder: each halving of element width buys
+        // throughput, with BF16 strictly between FP32 and INT8.
+        assert!(
+            bf16.cycles < fp32.p10_mma.cycles,
+            "BF16 {} vs FP32 {}",
+            bf16.cycles,
+            fp32.p10_mma.cycles
+        );
+        assert!(
+            bf16.cycles > int8.cycles,
+            "BF16 {} vs INT8 {}",
+            bf16.cycles,
+            int8.cycles
+        );
+        // End-to-end gain over FP32-MMA is meaningful but sub-2x (Amdahl
+        // on the elementwise and streaming parts).
+        let gain = fp32.p10_mma.cycles / bf16.cycles;
+        assert!(gain > 1.15 && gain < 2.2, "BF16/FP32 gain {gain}");
+    }
+}

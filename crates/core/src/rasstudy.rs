@@ -1,0 +1,130 @@
+//! The SERMiner derating studies: Fig. 13 (per-testcase derating) and
+//! Fig. 14 (POWER9 vs POWER10 derating versus VT).
+
+use p10_rtlsim::{run_detailed, Roi, RtlReport, ToggleDensity};
+use p10_serminer::{derating_curve, derating_row, DeratingCurve, DeratingRow};
+use p10_uarch::CoreConfig;
+use p10_workloads::microbench::{derating_grid, generate, DataInit};
+use p10_workloads::{chopstix, specint_like};
+use serde::{Deserialize, Serialize};
+
+fn detailed(cfg: &CoreConfig, traces: Vec<p10_isa::Trace>, init: DataInit) -> RtlReport {
+    let toggle = match init {
+        DataInit::Zero => ToggleDensity::zero_init(),
+        DataInit::Random => ToggleDensity::random_init(),
+    };
+    let mut cfg = cfg.clone();
+    cfg.smt = match traces.len() {
+        1 => p10_uarch::SmtMode::St,
+        2 => p10_uarch::SmtMode::Smt2,
+        _ => p10_uarch::SmtMode::Smt4,
+    };
+    run_detailed(&cfg, traces, Roi::new(500, 2_000_000), toggle)
+}
+
+/// The Fig. 13 dataset: derating per testcase (the Microprobe-style grid
+/// plus SPEC proxy workloads).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// Per-testcase rows, microbenchmarks first, then SPEC proxies.
+    pub rows: Vec<DeratingRow>,
+}
+
+/// Runs Fig. 13 on a configuration.
+#[must_use]
+pub fn run_fig13(cfg: &CoreConfig, ops: u64, spec_benches: usize) -> Fig13 {
+    let mut rows = Vec::new();
+    // Microprobe-style grid. The ST/SMT labels describe the original
+    // testcase family; the kernels run on the configured core.
+    for spec in derating_grid() {
+        let traces: Vec<p10_isa::Trace> = (0..spec.smt)
+            .map(|t| generate(&spec, 13 + u64::from(t)).trace_or_panic(ops))
+            .collect();
+        let r = detailed(cfg, traces, spec.init);
+        rows.push(derating_row(&spec.name(), &r));
+    }
+    // SPEC proxy workloads (top hot-function proxies of a few suite
+    // members; random data).
+    for b in specint_like().into_iter().take(spec_benches) {
+        let w = b.workload(29);
+        let set = chopstix::extract(&w, ops.min(40_000), 3);
+        if let Some(p) = set.proxies.first() {
+            let r = detailed(cfg, vec![p.trace(ops)], DataInit::Random);
+            rows.push(derating_row(&format!("{}_spec", b.name), &r));
+        }
+    }
+    Fig13 { rows }
+}
+
+/// The Fig. 14 dataset: derating-vs-VT curves for POWER9 and POWER10,
+/// merged across the same workload set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig14 {
+    /// POWER9 curve.
+    pub p9: DeratingCurve,
+    /// POWER10 curve.
+    pub p10: DeratingCurve,
+}
+
+impl Fig14 {
+    /// Runtime-derating difference (P10 − P9) at a VT.
+    #[must_use]
+    pub fn runtime_gap_at(&self, vt: f64) -> f64 {
+        let find = |c: &DeratingCurve| {
+            c.runtime_by_vt
+                .iter()
+                .find(|(v, _)| (v - vt).abs() < 1e-9)
+                .map_or(0.0, |&(_, d)| d)
+        };
+        find(&self.p10) - find(&self.p9)
+    }
+}
+
+/// Runs Fig. 14 across the derating grid workloads.
+#[must_use]
+pub fn run_fig14(ops: u64, vts: &[f64]) -> Fig14 {
+    let mut curves = Vec::new();
+    for cfg in [CoreConfig::power9(), CoreConfig::power10()] {
+        let mut reports = Vec::new();
+        for spec in derating_grid().into_iter().take(6) {
+            let traces: Vec<p10_isa::Trace> = (0..spec.smt)
+                .map(|t| generate(&spec, 13 + u64::from(t)).trace_or_panic(ops))
+                .collect();
+            reports.push(detailed(&cfg, traces, spec.init));
+        }
+        let refs: Vec<&RtlReport> = reports.iter().collect();
+        curves.push(derating_curve(&cfg.name, &refs, vts));
+    }
+    let p10 = curves.pop().expect("two curves");
+    let p9 = curves.pop().expect("two curves");
+    Fig14 { p9, p10 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig13_rows_cover_grid_and_spec() {
+        let f = run_fig13(&CoreConfig::power10(), 6_000, 1);
+        assert_eq!(f.rows.len(), 12 + 1);
+        for r in &f.rows {
+            assert!(r.static_pct >= 0.0 && r.static_pct <= 100.0);
+            // More aggressive VT classifies more latches vulnerable, so
+            // runtime derating shrinks as VT rises.
+            assert!(r.runtime_vt10 >= r.runtime_vt50);
+            assert!(r.runtime_vt50 >= r.runtime_vt90);
+        }
+    }
+
+    #[test]
+    fn fig14_p10_runtime_derating_exceeds_p9() {
+        let f = run_fig14(6_000, &[0.1, 0.5, 0.9]);
+        for vt in [0.1, 0.5, 0.9] {
+            assert!(
+                f.runtime_gap_at(vt) > 0.0,
+                "P10 runtime derating must exceed P9 at VT={vt}"
+            );
+        }
+    }
+}

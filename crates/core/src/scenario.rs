@@ -1,0 +1,238 @@
+//! Joint performance + power scenario execution.
+
+use p10_power::{PowerModel, PowerReport};
+use p10_uarch::{Core, CoreConfig, SimResult, SmtMode};
+use p10_workloads::{Benchmark, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Result of running one workload on one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration name.
+    pub config: String,
+    /// Timing result.
+    pub sim: SimResult,
+    /// Power evaluation of the same window.
+    pub power: PowerReport,
+}
+
+impl ScenarioResult {
+    /// Aggregate instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.sim.ipc()
+    }
+
+    /// Core power (excludes the L2/L3 nest).
+    #[must_use]
+    pub fn core_power(&self) -> f64 {
+        self.power.core_total()
+    }
+
+    /// Performance per watt (IPC / core power), iso-frequency.
+    #[must_use]
+    pub fn efficiency(&self) -> f64 {
+        let p = self.core_power();
+        if p <= 0.0 {
+            0.0
+        } else {
+            self.ipc() / p
+        }
+    }
+}
+
+/// Runs one workload: `threads(smt)` copies with distinct seeds.
+#[must_use]
+pub fn run_workload(cfg: &CoreConfig, workload: &Workload, max_ops: u64) -> ScenarioResult {
+    let threads = cfg.smt.threads();
+    let traces = (0..threads)
+        .map(|_| workload.trace_or_panic(max_ops))
+        .collect::<Vec<_>>();
+    run_traces(cfg, &workload.name, traces)
+}
+
+/// Runs one benchmark with per-thread seed variation (SMT threads run
+/// *different* instances, like real rate-mode runs).
+#[must_use]
+pub fn run_benchmark(
+    cfg: &CoreConfig,
+    bench: &Benchmark,
+    seed: u64,
+    max_ops: u64,
+) -> ScenarioResult {
+    let threads = cfg.smt.threads();
+    let traces = (0..threads)
+        .map(|t| {
+            bench
+                .workload(seed + t as u64 * 101)
+                .trace_or_panic(max_ops)
+        })
+        .collect::<Vec<_>>();
+    run_traces(cfg, &bench.name, traces)
+}
+
+/// Runs pre-built traces on the configuration and evaluates power.
+#[must_use]
+pub fn run_traces(cfg: &CoreConfig, name: &str, traces: Vec<p10_isa::Trace>) -> ScenarioResult {
+    let total_ops: u64 = traces.iter().map(|t| t.len() as u64).sum();
+    let sim = Core::new(cfg.clone()).run(traces, total_ops * 8 + 100_000);
+    let power = PowerModel::for_config(cfg).evaluate(&sim.activity);
+    ScenarioResult {
+        workload: name.to_owned(),
+        config: cfg.name.clone(),
+        sim,
+        power,
+    }
+}
+
+/// Results for a whole suite on one configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteResult {
+    /// Configuration name.
+    pub config: String,
+    /// Per-benchmark results.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl SuiteResult {
+    /// Geometric-mean IPC across the suite.
+    #[must_use]
+    pub fn geomean_ipc(&self) -> f64 {
+        geomean(self.results.iter().map(ScenarioResult::ipc))
+    }
+
+    /// Arithmetic-mean core power across the suite.
+    #[must_use]
+    pub fn mean_core_power(&self) -> f64 {
+        let n = self.results.len().max(1) as f64;
+        self.results
+            .iter()
+            .map(ScenarioResult::core_power)
+            .sum::<f64>()
+            / n
+    }
+
+    /// Result for a named workload.
+    #[must_use]
+    pub fn result(&self, workload: &str) -> Option<&ScenarioResult> {
+        self.results.iter().find(|r| r.workload == workload)
+    }
+}
+
+/// Runs every benchmark of a suite on one configuration.
+#[must_use]
+pub fn run_suite(cfg: &CoreConfig, suite: &[Benchmark], seed: u64, max_ops: u64) -> SuiteResult {
+    SuiteResult {
+        config: cfg.name.clone(),
+        results: suite
+            .iter()
+            .map(|b| run_benchmark(cfg, b, seed, max_ops))
+            .collect(),
+    }
+}
+
+/// Suite-level comparison (new vs baseline) — the Table I quantities.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SuiteComparison {
+    /// Geomean performance ratio (new / baseline).
+    pub perf_ratio: f64,
+    /// Mean core-power ratio (new / baseline).
+    pub power_ratio: f64,
+    /// Performance-per-watt ratio.
+    pub efficiency_ratio: f64,
+}
+
+impl SuiteComparison {
+    /// Compares `new` against `baseline` (per-benchmark ratio geomean for
+    /// performance, mean-power ratio for power).
+    #[must_use]
+    pub fn between(baseline: &SuiteResult, new: &SuiteResult) -> SuiteComparison {
+        let perf_ratio = geomean(new.results.iter().filter_map(|r| {
+            baseline
+                .result(&r.workload)
+                .map(|b| r.ipc() / b.ipc().max(1e-12))
+        }));
+        let power_ratio = new.mean_core_power() / baseline.mean_core_power().max(1e-12);
+        SuiteComparison {
+            perf_ratio,
+            power_ratio,
+            efficiency_ratio: perf_ratio / power_ratio.max(1e-12),
+        }
+    }
+}
+
+/// Geometric mean of an iterator of positive values (0 if empty).
+#[must_use]
+pub fn geomean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        log_sum += v.max(1e-12).ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+/// Convenience: a POWER10 config in a given SMT mode.
+#[must_use]
+pub fn power10_smt(smt: SmtMode) -> CoreConfig {
+    let mut c = CoreConfig::power10();
+    c.smt = smt;
+    c
+}
+
+/// Convenience: a POWER9 config in a given SMT mode.
+#[must_use]
+pub fn power9_smt(smt: SmtMode) -> CoreConfig {
+    let mut c = CoreConfig::power9();
+    c.smt = smt;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p10_workloads::specint_like;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn scenario_produces_consistent_result() {
+        let b = &specint_like()[8]; // exchangeish: small and fast
+        let r = run_benchmark(&CoreConfig::power10(), b, 1, 20_000);
+        assert_eq!(r.workload, "exchangeish");
+        assert!(r.ipc() > 0.5);
+        assert!(r.core_power() > 0.0);
+        assert!(r.efficiency() > 0.0);
+        assert_eq!(r.sim.activity.completed, 20_000);
+    }
+
+    #[test]
+    fn smt4_runs_four_threads() {
+        let b = &specint_like()[8];
+        let cfg = power10_smt(SmtMode::Smt4);
+        let r = run_benchmark(&cfg, b, 1, 5_000);
+        assert_eq!(r.sim.threads, 4);
+        assert_eq!(r.sim.activity.completed, 20_000);
+    }
+
+    #[test]
+    fn comparison_of_identical_suites_is_unity() {
+        let suite = &specint_like()[8..9];
+        let a = run_suite(&CoreConfig::power10(), suite, 3, 10_000);
+        let cmp = SuiteComparison::between(&a, &a);
+        assert!((cmp.perf_ratio - 1.0).abs() < 1e-9);
+        assert!((cmp.power_ratio - 1.0).abs() < 1e-9);
+        assert!((cmp.efficiency_ratio - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,592 @@
+//! Textual assembler and disassembler.
+//!
+//! [`assemble`] parses a Power-style assembly listing into a [`Program`];
+//! [`disassemble`] renders a program back to text with generated `L<n>:`
+//! labels at branch targets. The two round-trip:
+//!
+//! ```
+//! use p10_isa::asm::{assemble, disassemble};
+//!
+//! let src = "
+//!     li r4, 10
+//!     mtctr r4
+//! L0:
+//!     addi r3, r3, 1
+//!     bdnz L0
+//! ";
+//! let p = assemble(src).unwrap();
+//! let text = disassemble(&p);
+//! let p2 = assemble(&text).unwrap();
+//! assert_eq!(p.insts(), p2.insts());
+//! ```
+
+use crate::inst::{Cond, Inst};
+use crate::program::{Label, Program, ProgramBuilder};
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from assembling text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let tok = tok.trim();
+    let parse_idx = |s: &str| -> Result<u16, AsmError> {
+        s.parse()
+            .map_err(|_| err(line, format!("bad register index in '{tok}'")))
+    };
+    if let Some(n) = tok.strip_prefix("vs") {
+        return Ok(Reg::vsr(parse_idx(n)?));
+    }
+    if let Some(n) = tok.strip_prefix("acc") {
+        return Ok(Reg::acc(parse_idx(n)?));
+    }
+    if let Some(n) = tok.strip_prefix("cr") {
+        return Ok(Reg::cr(parse_idx(n)?));
+    }
+    if let Some(n) = tok.strip_prefix('r') {
+        return Ok(Reg::gpr(parse_idx(n)?));
+    }
+    Err(err(line, format!("unknown register '{tok}'")))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let tok = tok.trim();
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| err(line, format!("bad immediate '{tok}'")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses `disp(reg)` into `(disp, reg)`.
+fn parse_mem(tok: &str, line: usize) -> Result<(i64, Reg), AsmError> {
+    let tok = tok.trim();
+    let open = tok
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected disp(reg), got '{tok}'")))?;
+    let close = tok
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing ')' in '{tok}'")))?;
+    let disp = parse_imm(&tok[..open], line)?;
+    let reg = parse_reg(&tok[open + 1..close], line)?;
+    Ok((disp, reg))
+}
+
+fn parse_cond(tok: &str, line: usize) -> Result<Cond, AsmError> {
+    match tok.trim() {
+        "lt" => Ok(Cond::Lt),
+        "gt" => Ok(Cond::Gt),
+        "eq" => Ok(Cond::Eq),
+        "ge" => Ok(Cond::Ge),
+        "le" => Ok(Cond::Le),
+        "ne" => Ok(Cond::Ne),
+        other => Err(err(line, format!("unknown condition '{other}'"))),
+    }
+}
+
+/// Assembles a textual listing.
+///
+/// Syntax: one instruction per line; `name:` defines a label; `#` or `;`
+/// start comments; operands are comma-separated; memory operands are
+/// `disp(reg)`.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its line number, or an error for
+/// undefined/duplicate labels.
+#[allow(clippy::too_many_lines)]
+pub fn assemble(src: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    let mut labels: HashMap<String, Label> = HashMap::new();
+    let mut defined: HashMap<String, usize> = HashMap::new();
+
+    let mut get_label = |b: &mut ProgramBuilder, name: &str| -> Label {
+        *labels.entry(name.to_owned()).or_insert_with(|| b.label())
+    };
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let text = raw.split(['#', ';']).next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        // Label definition (possibly followed by an instruction).
+        let text = if let Some(colon) = text.find(':') {
+            let (name, rest) = text.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || name.contains(char::is_whitespace) {
+                return Err(err(line, format!("bad label '{name}'")));
+            }
+            if defined.insert(name.to_owned(), line).is_some() {
+                return Err(err(line, format!("label '{name}' defined twice")));
+            }
+            let l = get_label(&mut b, name);
+            b.bind(l);
+            rest[1..].trim()
+        } else {
+            text
+        };
+        if text.is_empty() {
+            continue;
+        }
+
+        let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+        let ops: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        let want = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    line,
+                    format!("{mnemonic} expects {n} operands, got {}", ops.len()),
+                ))
+            }
+        };
+
+        macro_rules! rrr {
+            ($variant:ident) => {{
+                want(3)?;
+                Inst::$variant {
+                    rt: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    rb: parse_reg(ops[2], line)?,
+                }
+            }};
+        }
+        macro_rules! xxx {
+            ($variant:ident) => {{
+                want(3)?;
+                Inst::$variant {
+                    xt: parse_reg(ops[0], line)?,
+                    xa: parse_reg(ops[1], line)?,
+                    xb: parse_reg(ops[2], line)?,
+                }
+            }};
+        }
+        macro_rules! ger {
+            ($variant:ident) => {{
+                want(3)?;
+                Inst::$variant {
+                    at: parse_reg(ops[0], line)?,
+                    xa: parse_reg(ops[1], line)?,
+                    xb: parse_reg(ops[2], line)?,
+                }
+            }};
+        }
+        macro_rules! load {
+            ($variant:ident, $t:ident) => {{
+                want(2)?;
+                let (disp, ra) = parse_mem(ops[1], line)?;
+                Inst::$variant {
+                    $t: parse_reg(ops[0], line)?,
+                    ra,
+                    disp,
+                }
+            }};
+        }
+
+        let inst = match mnemonic {
+            "li" => {
+                want(2)?;
+                Inst::Li {
+                    rt: parse_reg(ops[0], line)?,
+                    imm: parse_imm(ops[1], line)?,
+                }
+            }
+            "addi" => {
+                want(3)?;
+                Inst::Addi {
+                    rt: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    imm: parse_imm(ops[2], line)?,
+                }
+            }
+            "add" => rrr!(Add),
+            "sub" => rrr!(Sub),
+            "and" => rrr!(And),
+            "or" => rrr!(Or),
+            "xor" => rrr!(Xor),
+            "mulld" => rrr!(Mulld),
+            "divd" => rrr!(Divd),
+            "neg" => {
+                want(2)?;
+                Inst::Neg {
+                    rt: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                }
+            }
+            "sldi" | "srdi" => {
+                want(3)?;
+                let rt = parse_reg(ops[0], line)?;
+                let ra = parse_reg(ops[1], line)?;
+                let sh = parse_imm(ops[2], line)? as u8;
+                if mnemonic == "sldi" {
+                    Inst::Sldi { rt, ra, sh }
+                } else {
+                    Inst::Srdi { rt, ra, sh }
+                }
+            }
+            "cmpd" => {
+                want(3)?;
+                Inst::Cmp {
+                    bf: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    rb: parse_reg(ops[2], line)?,
+                }
+            }
+            "cmpdi" => {
+                want(3)?;
+                Inst::Cmpi {
+                    bf: parse_reg(ops[0], line)?,
+                    ra: parse_reg(ops[1], line)?,
+                    imm: parse_imm(ops[2], line)?,
+                }
+            }
+            "lbz" => load!(Lbz, rt),
+            "lwz" => load!(Lwz, rt),
+            "ld" => load!(Ld, rt),
+            "ldx" => rrr!(Ldx),
+            "stb" => load!(Stb, rs),
+            "stw" => load!(Stw, rs),
+            "std" => load!(Std, rs),
+            "stdu" => load!(Stdu, rs),
+            "lxv" => load!(Lxv, xt),
+            "lxvp" => load!(Lxvp, xt),
+            "stxv" => load!(Stxv, xs),
+            "stxvp" => load!(Stxvp, xs),
+            "lxvx" => xxx_idx(&ops, line, true)?,
+            "lxvdsx" => xxx_idx(&ops, line, false)?,
+            "xvadddp" => xxx!(Xvadddp),
+            "xvmuldp" => xxx!(Xvmuldp),
+            "xvmaddadp" => xxx!(Xvmaddadp),
+            "xvmaddasp" => xxx!(Xvmaddasp),
+            "xxlxor" => xxx!(Xxlxor),
+            "xxspltd" => {
+                want(3)?;
+                Inst::Xxspltd {
+                    xt: parse_reg(ops[0], line)?,
+                    xa: parse_reg(ops[1], line)?,
+                    uim: parse_imm(ops[2], line)? as u8,
+                }
+            }
+            "xxsetaccz" => {
+                want(1)?;
+                Inst::Xxsetaccz {
+                    at: parse_reg(ops[0], line)?,
+                }
+            }
+            "xvf64gerpp" => ger!(Xvf64gerpp),
+            "xvf64gernp" => ger!(Xvf64gernp),
+            "xvf32gerpp" => ger!(Xvf32gerpp),
+            "xvbf16ger2pp" => ger!(Xvbf16ger2pp),
+            "xvi8ger4pp" => ger!(Xvi8ger4pp),
+            "xxmfacc" => {
+                want(1)?;
+                Inst::Xxmfacc {
+                    at: parse_reg(ops[0], line)?,
+                }
+            }
+            "xxmtacc" => {
+                want(1)?;
+                Inst::Xxmtacc {
+                    at: parse_reg(ops[0], line)?,
+                }
+            }
+            "b" => {
+                want(1)?;
+                Inst::B {
+                    target: get_label(&mut b, ops[0]),
+                }
+            }
+            "bc" => {
+                want(3)?;
+                Inst::Bc {
+                    cond: parse_cond(ops[0], line)?,
+                    bf: parse_reg(ops[1], line)?,
+                    target: get_label(&mut b, ops[2]),
+                }
+            }
+            "bdnz" => {
+                want(1)?;
+                Inst::Bdnz {
+                    target: get_label(&mut b, ops[0]),
+                }
+            }
+            "bctr" => {
+                want(0)?;
+                Inst::Bctr
+            }
+            "bl" => {
+                want(1)?;
+                Inst::Bl {
+                    target: get_label(&mut b, ops[0]),
+                }
+            }
+            "blr" => {
+                want(0)?;
+                Inst::Blr
+            }
+            "mtctr" => {
+                want(1)?;
+                Inst::Mtctr {
+                    ra: parse_reg(ops[0], line)?,
+                }
+            }
+            "mtlr" => {
+                want(1)?;
+                Inst::Mtlr {
+                    ra: parse_reg(ops[0], line)?,
+                }
+            }
+            "mflr" => {
+                want(1)?;
+                Inst::Mflr {
+                    rt: parse_reg(ops[0], line)?,
+                }
+            }
+            "nop" => {
+                want(0)?;
+                Inst::Nop
+            }
+            "mma_wake_hint" => {
+                want(0)?;
+                Inst::MmaWakeHint
+            }
+            other => return Err(err(line, format!("unknown mnemonic '{other}'"))),
+        };
+        b.push(inst);
+    }
+
+    for (name, _) in labels.iter().map(|(n, l)| (n, *l)) {
+        if !defined.contains_key(name) {
+            return Err(err(0, format!("label '{name}' used but never defined")));
+        }
+    }
+    b.try_build()
+        .map_err(|e| err(0, format!("link error: {e}")))
+}
+
+fn xxx_idx(ops: &[&str], line: usize, plain: bool) -> Result<Inst, AsmError> {
+    if ops.len() != 3 {
+        return Err(err(line, "indexed load expects 3 operands"));
+    }
+    let xt = parse_reg(ops[0], line)?;
+    let ra = parse_reg(ops[1], line)?;
+    let rb = parse_reg(ops[2], line)?;
+    Ok(if plain {
+        Inst::Lxvx { xt, ra, rb }
+    } else {
+        Inst::Lxvdsx { xt, ra, rb }
+    })
+}
+
+/// Disassembles a program to re-assemblable text with generated labels.
+#[must_use]
+pub fn disassemble(program: &Program) -> String {
+    // Collect branch-target indices and name them L0, L1, ... in order.
+    let mut targets: Vec<usize> = program
+        .insts()
+        .iter()
+        .filter_map(|i| match i {
+            Inst::B { target }
+            | Inst::Bc { target, .. }
+            | Inst::Bdnz { target }
+            | Inst::Bl { target } => Some(program.resolve(*target)),
+            _ => None,
+        })
+        .collect();
+    targets.sort_unstable();
+    targets.dedup();
+    let name_of: HashMap<usize, String> = targets
+        .iter()
+        .enumerate()
+        .map(|(n, &idx)| (idx, format!("L{n}")))
+        .collect();
+
+    let mut out = String::new();
+    for (idx, inst) in program.insts().iter().enumerate() {
+        if let Some(name) = name_of.get(&idx) {
+            out.push_str(name);
+            out.push_str(":\n");
+        }
+        let line = match inst {
+            Inst::B { target } => format!("b {}", name_of[&program.resolve(*target)]),
+            Inst::Bc { cond, bf, target } => format!(
+                "bc {}, {bf}, {}",
+                cond_name(*cond),
+                name_of[&program.resolve(*target)]
+            ),
+            Inst::Bdnz { target } => {
+                format!("bdnz {}", name_of[&program.resolve(*target)])
+            }
+            Inst::Bl { target } => format!("bl {}", name_of[&program.resolve(*target)]),
+            other => other.to_string(),
+        };
+        out.push_str("    ");
+        out.push_str(&line);
+        out.push('\n');
+    }
+    // A trailing label (branch to one-past-the-end is not representable;
+    // the builder never produces it).
+    out
+}
+
+fn cond_name(c: Cond) -> &'static str {
+    match c {
+        Cond::Lt => "lt",
+        Cond::Gt => "gt",
+        Cond::Eq => "eq",
+        Cond::Ge => "ge",
+        Cond::Le => "le",
+        Cond::Ne => "ne",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Machine;
+
+    #[test]
+    fn assemble_and_run_a_loop() {
+        let p = assemble(
+            "
+            # sum 1..=10
+            li r3, 0
+            li r4, 10
+            mtctr r4
+            top:
+                add r3, r3, r4
+                addi r4, r4, -1
+                bdnz top
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        m.run(&p, 1000).unwrap();
+        assert_eq!(m.gpr(3), 55);
+    }
+
+    #[test]
+    fn memory_operands_and_vectors() {
+        let p = assemble(
+            "
+            li r1, 0x8000
+            std r1, 16(r1)
+            ld r2, 16(r1)
+            lxv vs34, 0(r1)
+            xvmaddadp vs36, vs34, vs35
+            xxsetaccz acc0
+            xvf64gerpp acc0, vs34, vs36
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 7);
+        let mut m = Machine::new();
+        m.run(&p, 100).unwrap();
+        assert_eq!(m.gpr(2), 0x8000);
+    }
+
+    #[test]
+    fn forward_labels_work() {
+        let p = assemble(
+            "
+            b end
+            addi r3, r3, 1
+            end:
+            nop
+            ",
+        )
+        .unwrap();
+        let mut m = Machine::new();
+        m.run(&p, 100).unwrap();
+        assert_eq!(m.gpr(3), 0, "the addi must be skipped");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("nop\nbogus r1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = assemble("addi r3, r3\n").unwrap_err();
+        assert!(e.message.contains("expects 3 operands"));
+
+        let e = assemble("b nowhere\n").unwrap_err();
+        assert!(e.message.contains("never defined"));
+
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.message.contains("defined twice"));
+    }
+
+    #[test]
+    fn disassemble_roundtrip_program_builder_output() {
+        use crate::{ProgramBuilder, Reg};
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), 100);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.addi(Reg::gpr(3), Reg::gpr(3), 2);
+        b.cmpi(Reg::cr(0), Reg::gpr(3), 50);
+        let skip = b.label();
+        b.bc(crate::Cond::Lt, Reg::cr(0), skip);
+        b.addi(Reg::gpr(5), Reg::gpr(5), 1);
+        b.bind(skip);
+        b.bdnz(top);
+        let p = b.build();
+
+        let text = disassemble(&p);
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.insts(), p2.insts());
+
+        // Same architectural behaviour.
+        let mut m1 = Machine::new();
+        m1.run(&p, 10_000).unwrap();
+        let mut m2 = Machine::new();
+        m2.run(&p2, 10_000).unwrap();
+        assert_eq!(m1.gpr(3), m2.gpr(3));
+        assert_eq!(m1.gpr(5), m2.gpr(5));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("li r1, 0x10\nli r2, -0x10\naddi r3, r1, -5\n").unwrap();
+        let mut m = Machine::new();
+        m.run(&p, 10).unwrap();
+        assert_eq!(m.gpr(1), 16);
+        assert_eq!(m.gpr(2) as i64, -16);
+        assert_eq!(m.gpr(3), 11);
+    }
+}

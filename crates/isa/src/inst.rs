@@ -1,0 +1,553 @@
+//! Static instruction definitions.
+//!
+//! [`Inst`] is a typed subset of the Power ISA v3.1 sufficient for the
+//! workloads the paper evaluates: SPECint-like scalar code, BLAS kernels in
+//! both VSX and MMA form, and the microbenchmarks used for power and
+//! reliability characterization.
+
+use crate::program::Label;
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Branch condition: which bit of a CR field to test and the required value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cond {
+    /// Branch if the "less than" bit of the CR field is set.
+    Lt,
+    /// Branch if the "greater than" bit is set.
+    Gt,
+    /// Branch if the "equal" bit is set.
+    Eq,
+    /// Branch if the "less than" bit is clear (`>=`).
+    Ge,
+    /// Branch if the "greater than" bit is clear (`<=`).
+    Le,
+    /// Branch if the "equal" bit is clear.
+    Ne,
+}
+
+impl Cond {
+    /// Evaluates the condition against a 4-bit CR field value
+    /// (bit 3 = LT, bit 2 = GT, bit 1 = EQ, per Power conventions but packed
+    /// LSB-first here).
+    #[must_use]
+    pub fn eval(self, cr_field: u8) -> bool {
+        let lt = cr_field & 0b100 != 0;
+        let gt = cr_field & 0b010 != 0;
+        let eq = cr_field & 0b001 != 0;
+        match self {
+            Cond::Lt => lt,
+            Cond::Gt => gt,
+            Cond::Eq => eq,
+            Cond::Ge => !lt,
+            Cond::Le => !gt,
+            Cond::Ne => !eq,
+        }
+    }
+}
+
+/// A static instruction.
+///
+/// Field naming follows Power assembly conventions: `rt`/`xt`/`at` are
+/// targets, `ra`/`rb`/`xa`/`xb` are sources, `disp` is a byte displacement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant fields follow standard Power mnemonics
+pub enum Inst {
+    // ---- scalar integer ----
+    /// `rt <- ra + simm` (with `ra = r0` meaning literal 0, i.e. `li`).
+    Addi {
+        rt: Reg,
+        ra: Reg,
+        imm: i64,
+    },
+    /// Load immediate (pseudo-op; no source register dependency).
+    Li {
+        rt: Reg,
+        imm: i64,
+    },
+    Add {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    Sub {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    Neg {
+        rt: Reg,
+        ra: Reg,
+    },
+    And {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    Or {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    Xor {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    /// Shift left by immediate (64-bit).
+    Sldi {
+        rt: Reg,
+        ra: Reg,
+        sh: u8,
+    },
+    /// Logical shift right by immediate (64-bit).
+    Srdi {
+        rt: Reg,
+        ra: Reg,
+        sh: u8,
+    },
+    /// 64-bit multiply low.
+    Mulld {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    /// 64-bit signed divide.
+    Divd {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    /// Compare signed, result into CR field `bf`.
+    Cmp {
+        bf: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    /// Compare signed immediate, result into CR field `bf`.
+    Cmpi {
+        bf: Reg,
+        ra: Reg,
+        imm: i64,
+    },
+
+    // ---- scalar loads/stores (byte sizes 1/4/8) ----
+    /// Load byte and zero.
+    Lbz {
+        rt: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Load word and zero (4 bytes).
+    Lwz {
+        rt: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Load doubleword (8 bytes).
+    Ld {
+        rt: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Load doubleword indexed: `rt <- mem[ra + rb]`.
+    Ldx {
+        rt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    /// Store byte.
+    Stb {
+        rs: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Store word (4 bytes).
+    Stw {
+        rs: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Store doubleword (8 bytes).
+    Std {
+        rs: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Store doubleword with update: also `ra <- ra + disp`.
+    Stdu {
+        rs: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+
+    // ---- vector loads/stores ----
+    /// Load VSX vector (16 bytes).
+    Lxv {
+        xt: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Load VSX vector indexed (16 bytes): `xt <- mem[ra + rb]`.
+    Lxvx {
+        xt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    /// Load VSX vector pair (32 bytes) into `xt` and `xt+1`
+    /// (POWER10's new 32-byte load).
+    Lxvp {
+        xt: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Load doubleword and splat to both lanes.
+    Lxvdsx {
+        xt: Reg,
+        ra: Reg,
+        rb: Reg,
+    },
+    /// Store VSX vector (16 bytes).
+    Stxv {
+        xs: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+    /// Store VSX vector pair (32 bytes) from `xs` and `xs+1`
+    /// (POWER10's new 32-byte store).
+    Stxvp {
+        xs: Reg,
+        ra: Reg,
+        disp: i64,
+    },
+
+    // ---- VSX arithmetic (128-bit) ----
+    /// Vector double-precision add (2 lanes).
+    Xvadddp {
+        xt: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Vector double-precision multiply (2 lanes).
+    Xvmuldp {
+        xt: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Vector double-precision fused multiply-add: `xt <- xa*xb + xt`
+    /// (4 flops).
+    Xvmaddadp {
+        xt: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Vector single-precision fused multiply-add (4 lanes, 8 flops).
+    Xvmaddasp {
+        xt: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Vector logical XOR (also the idiom for zeroing a VSR).
+    Xxlxor {
+        xt: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Splat doubleword lane `uim` of `xa` to both lanes of `xt`.
+    Xxspltd {
+        xt: Reg,
+        xa: Reg,
+        uim: u8,
+    },
+
+    // ---- MMA facility ----
+    /// Zero an accumulator and prime it.
+    Xxsetaccz {
+        at: Reg,
+    },
+    /// Double-precision rank-1 update (positive-accumulate):
+    /// `acc[i][j] += a[i] * b[j]` with `a` a 4-element column from the VSR
+    /// pair `{xa, xa+1}` and `b` a 2-element row from `xb` (4×2 grid,
+    /// 16 flops).
+    Xvf64gerpp {
+        at: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Double-precision rank-1 update, negative-multiply:
+    /// `acc[i][j] -= a[i] * b[j]` — the form triangular-solve trailing
+    /// updates need.
+    Xvf64gernp {
+        at: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Single-precision rank-1 update: 4×4 grid, 32 flops.
+    Xvf32gerpp {
+        at: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Bfloat16 rank-2 update: `acc[i][j] += dot2(a_row_i, b_row_j)` with
+    /// products and accumulation in single precision; 32 MACs. The
+    /// reduced-precision AI format the paper's inference workloads use.
+    Xvbf16ger2pp {
+        at: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// INT8 rank-4 update: `acc[i][j] += dot4(a_row_i, b_row_j)`; 64 MACs.
+    Xvi8ger4pp {
+        at: Reg,
+        xa: Reg,
+        xb: Reg,
+    },
+    /// Move the accumulator contents to its four backing VSRs (de-prime).
+    Xxmfacc {
+        at: Reg,
+    },
+    /// Prime the accumulator from its four backing VSRs.
+    Xxmtacc {
+        at: Reg,
+    },
+
+    // ---- branches ----
+    /// Unconditional relative branch.
+    B {
+        target: Label,
+    },
+    /// Conditional branch on CR field `bf`.
+    Bc {
+        cond: Cond,
+        bf: Reg,
+        target: Label,
+    },
+    /// Decrement CTR; branch if CTR != 0.
+    Bdnz {
+        target: Label,
+    },
+    /// Branch to address in CTR (indirect).
+    Bctr,
+    /// Branch and link (call): LR <- return address.
+    Bl {
+        target: Label,
+    },
+    /// Branch to LR (return).
+    Blr,
+
+    // ---- moves to/from special registers ----
+    /// `ctr <- ra`.
+    Mtctr {
+        ra: Reg,
+    },
+    /// `lr <- ra`.
+    Mtlr {
+        ra: Reg,
+    },
+    /// `rt <- lr`.
+    Mflr {
+        rt: Reg,
+    },
+
+    // ---- misc ----
+    /// No-operation.
+    Nop,
+    /// MMA wake-up hint (architected so firmware power gating can
+    /// proactively power the MMA back on; see paper §IV-A).
+    MmaWakeHint,
+}
+
+impl Inst {
+    /// Whether this instruction uses the prefixed (8-byte) encoding.
+    ///
+    /// The model treats large-immediate `addi`/`li` (beyond 16 bits) and
+    /// large-displacement memory ops as prefixed, mirroring Power ISA v3.1
+    /// prefixed forms. Prefixed instructions consume two fetch slots.
+    #[must_use]
+    pub fn is_prefixed(&self) -> bool {
+        const D16: std::ops::Range<i64> = -32768..32768;
+        match *self {
+            Inst::Addi { imm, .. } | Inst::Li { imm, .. } | Inst::Cmpi { imm, .. } => {
+                !D16.contains(&imm)
+            }
+            Inst::Lbz { disp, .. }
+            | Inst::Lwz { disp, .. }
+            | Inst::Ld { disp, .. }
+            | Inst::Stb { disp, .. }
+            | Inst::Stw { disp, .. }
+            | Inst::Std { disp, .. }
+            | Inst::Stdu { disp, .. }
+            | Inst::Lxv { disp, .. }
+            | Inst::Lxvp { disp, .. }
+            | Inst::Stxv { disp, .. }
+            | Inst::Stxvp { disp, .. } => !D16.contains(&disp),
+            _ => false,
+        }
+    }
+
+    /// Whether this is any kind of branch.
+    #[must_use]
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Inst::B { .. }
+                | Inst::Bc { .. }
+                | Inst::Bdnz { .. }
+                | Inst::Bctr
+                | Inst::Bl { .. }
+                | Inst::Blr
+        )
+    }
+
+    /// Whether this is an MMA facility instruction (including accumulator
+    /// moves and the wake hint).
+    #[must_use]
+    pub fn is_mma(&self) -> bool {
+        matches!(
+            self,
+            Inst::Xxsetaccz { .. }
+                | Inst::Xvf64gerpp { .. }
+                | Inst::Xvf64gernp { .. }
+                | Inst::Xvf32gerpp { .. }
+                | Inst::Xvbf16ger2pp { .. }
+                | Inst::Xvi8ger4pp { .. }
+                | Inst::Xxmfacc { .. }
+                | Inst::Xxmtacc { .. }
+                | Inst::MmaWakeHint
+        )
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // A compact assembly-ish rendering, mainly for debugging and docs.
+        match *self {
+            Inst::Addi { rt, ra, imm } => write!(f, "addi {rt},{ra},{imm}"),
+            Inst::Li { rt, imm } => write!(f, "li {rt},{imm}"),
+            Inst::Add { rt, ra, rb } => write!(f, "add {rt},{ra},{rb}"),
+            Inst::Sub { rt, ra, rb } => write!(f, "sub {rt},{ra},{rb}"),
+            Inst::Neg { rt, ra } => write!(f, "neg {rt},{ra}"),
+            Inst::And { rt, ra, rb } => write!(f, "and {rt},{ra},{rb}"),
+            Inst::Or { rt, ra, rb } => write!(f, "or {rt},{ra},{rb}"),
+            Inst::Xor { rt, ra, rb } => write!(f, "xor {rt},{ra},{rb}"),
+            Inst::Sldi { rt, ra, sh } => write!(f, "sldi {rt},{ra},{sh}"),
+            Inst::Srdi { rt, ra, sh } => write!(f, "srdi {rt},{ra},{sh}"),
+            Inst::Mulld { rt, ra, rb } => write!(f, "mulld {rt},{ra},{rb}"),
+            Inst::Divd { rt, ra, rb } => write!(f, "divd {rt},{ra},{rb}"),
+            Inst::Cmp { bf, ra, rb } => write!(f, "cmpd {bf},{ra},{rb}"),
+            Inst::Cmpi { bf, ra, imm } => write!(f, "cmpdi {bf},{ra},{imm}"),
+            Inst::Lbz { rt, ra, disp } => write!(f, "lbz {rt},{disp}({ra})"),
+            Inst::Lwz { rt, ra, disp } => write!(f, "lwz {rt},{disp}({ra})"),
+            Inst::Ld { rt, ra, disp } => write!(f, "ld {rt},{disp}({ra})"),
+            Inst::Ldx { rt, ra, rb } => write!(f, "ldx {rt},{ra},{rb}"),
+            Inst::Stb { rs, ra, disp } => write!(f, "stb {rs},{disp}({ra})"),
+            Inst::Stw { rs, ra, disp } => write!(f, "stw {rs},{disp}({ra})"),
+            Inst::Std { rs, ra, disp } => write!(f, "std {rs},{disp}({ra})"),
+            Inst::Stdu { rs, ra, disp } => write!(f, "stdu {rs},{disp}({ra})"),
+            Inst::Lxv { xt, ra, disp } => write!(f, "lxv {xt},{disp}({ra})"),
+            Inst::Lxvx { xt, ra, rb } => write!(f, "lxvx {xt},{ra},{rb}"),
+            Inst::Lxvp { xt, ra, disp } => write!(f, "lxvp {xt},{disp}({ra})"),
+            Inst::Lxvdsx { xt, ra, rb } => write!(f, "lxvdsx {xt},{ra},{rb}"),
+            Inst::Stxv { xs, ra, disp } => write!(f, "stxv {xs},{disp}({ra})"),
+            Inst::Stxvp { xs, ra, disp } => write!(f, "stxvp {xs},{disp}({ra})"),
+            Inst::Xvadddp { xt, xa, xb } => write!(f, "xvadddp {xt},{xa},{xb}"),
+            Inst::Xvmuldp { xt, xa, xb } => write!(f, "xvmuldp {xt},{xa},{xb}"),
+            Inst::Xvmaddadp { xt, xa, xb } => write!(f, "xvmaddadp {xt},{xa},{xb}"),
+            Inst::Xvmaddasp { xt, xa, xb } => write!(f, "xvmaddasp {xt},{xa},{xb}"),
+            Inst::Xxlxor { xt, xa, xb } => write!(f, "xxlxor {xt},{xa},{xb}"),
+            Inst::Xxspltd { xt, xa, uim } => write!(f, "xxspltd {xt},{xa},{uim}"),
+            Inst::Xxsetaccz { at } => write!(f, "xxsetaccz {at}"),
+            Inst::Xvf64gerpp { at, xa, xb } => write!(f, "xvf64gerpp {at},{xa},{xb}"),
+            Inst::Xvf64gernp { at, xa, xb } => write!(f, "xvf64gernp {at},{xa},{xb}"),
+            Inst::Xvf32gerpp { at, xa, xb } => write!(f, "xvf32gerpp {at},{xa},{xb}"),
+            Inst::Xvbf16ger2pp { at, xa, xb } => write!(f, "xvbf16ger2pp {at},{xa},{xb}"),
+            Inst::Xvi8ger4pp { at, xa, xb } => write!(f, "xvi8ger4pp {at},{xa},{xb}"),
+            Inst::Xxmfacc { at } => write!(f, "xxmfacc {at}"),
+            Inst::Xxmtacc { at } => write!(f, "xxmtacc {at}"),
+            Inst::B { target } => write!(f, "b {target:?}"),
+            Inst::Bc { cond, bf, target } => write!(f, "bc {cond:?},{bf},{target:?}"),
+            Inst::Bdnz { target } => write!(f, "bdnz {target:?}"),
+            Inst::Bctr => write!(f, "bctr"),
+            Inst::Bl { target } => write!(f, "bl {target:?}"),
+            Inst::Blr => write!(f, "blr"),
+            Inst::Mtctr { ra } => write!(f, "mtctr {ra}"),
+            Inst::Mtlr { ra } => write!(f, "mtlr {ra}"),
+            Inst::Mflr { rt } => write!(f, "mflr {rt}"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::MmaWakeHint => write!(f, "mma_wake_hint"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cond_eval_covers_all_senses() {
+        // field bits: LT=0b100, GT=0b010, EQ=0b001
+        assert!(Cond::Lt.eval(0b100));
+        assert!(!Cond::Lt.eval(0b010));
+        assert!(Cond::Gt.eval(0b010));
+        assert!(Cond::Eq.eval(0b001));
+        assert!(Cond::Ge.eval(0b010));
+        assert!(!Cond::Ge.eval(0b100));
+        assert!(Cond::Le.eval(0b100));
+        assert!(!Cond::Le.eval(0b010));
+        assert!(Cond::Ne.eval(0b100));
+        assert!(!Cond::Ne.eval(0b001));
+    }
+
+    #[test]
+    fn prefixed_detection() {
+        let small = Inst::Addi {
+            rt: Reg::gpr(1),
+            ra: Reg::gpr(2),
+            imm: 100,
+        };
+        let large = Inst::Addi {
+            rt: Reg::gpr(1),
+            ra: Reg::gpr(2),
+            imm: 1 << 20,
+        };
+        assert!(!small.is_prefixed());
+        assert!(large.is_prefixed());
+        let big_disp = Inst::Ld {
+            rt: Reg::gpr(1),
+            ra: Reg::gpr(2),
+            disp: 1 << 17,
+        };
+        assert!(big_disp.is_prefixed());
+        assert!(!Inst::Nop.is_prefixed());
+    }
+
+    #[test]
+    fn branch_and_mma_classification() {
+        assert!(Inst::Bctr.is_branch());
+        assert!(Inst::Blr.is_branch());
+        assert!(!Inst::Nop.is_branch());
+        assert!(Inst::Xxsetaccz { at: Reg::acc(0) }.is_mma());
+        assert!(Inst::MmaWakeHint.is_mma());
+        assert!(!Inst::Nop.is_mma());
+    }
+
+    #[test]
+    fn display_is_nonempty_for_representatives() {
+        let insts = [
+            Inst::Li {
+                rt: Reg::gpr(3),
+                imm: 1,
+            },
+            Inst::Xvf32gerpp {
+                at: Reg::acc(0),
+                xa: Reg::vsr(32),
+                xb: Reg::vsr(33),
+            },
+            Inst::Blr,
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

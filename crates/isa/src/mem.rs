@@ -1,0 +1,176 @@
+//! Sparse byte-addressable memory for functional execution.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// A sparse 64-bit byte-addressable memory backed by 4 KiB pages.
+///
+/// Unwritten memory reads as zero, which lets workloads run over large
+/// footprints without materializing them.
+#[derive(Debug, Default, Clone)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty memory.
+    #[must_use]
+    pub fn new() -> Self {
+        SparseMemory::default()
+    }
+
+    /// Number of materialized (written) pages.
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Reads one byte (zero if never written).
+    #[must_use]
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = val;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    #[must_use]
+    pub fn read_bytes<const N: usize>(&self, addr: u64) -> [u8; N] {
+        let mut out = [0u8; N];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr.wrapping_add(i as u64));
+        }
+        out
+    }
+
+    /// Writes bytes starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), *b);
+        }
+    }
+
+    /// Reads a little-endian `u32`.
+    #[must_use]
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        u32::from_le_bytes(self.read_bytes::<4>(addr))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: u64, val: u32) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Reads a little-endian `u64`.
+    #[must_use]
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        u64::from_le_bytes(self.read_bytes::<8>(addr))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_bytes(addr, &val.to_le_bytes());
+    }
+
+    /// Reads an `f64` stored in little-endian byte order.
+    #[must_use]
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Writes an `f64` in little-endian byte order.
+    pub fn write_f64(&mut self, addr: u64, val: f64) {
+        self.write_u64(addr, val.to_bits());
+    }
+
+    /// Reads an `f32` stored in little-endian byte order.
+    #[must_use]
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an `f32` in little-endian byte order.
+    pub fn write_f32(&mut self, addr: u64, val: f32) {
+        self.write_u32(addr, val.to_bits());
+    }
+
+    /// Reads a 128-bit value as two little-endian `u64` words
+    /// (`[low, high]`).
+    #[must_use]
+    pub fn read_u128_words(&self, addr: u64) -> [u64; 2] {
+        [self.read_u64(addr), self.read_u64(addr + 8)]
+    }
+
+    /// Writes a 128-bit value as two little-endian `u64` words.
+    pub fn write_u128_words(&mut self, addr: u64, words: [u64; 2]) {
+        self.write_u64(addr, words[0]);
+        self.write_u64(addr + 8, words[1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let m = SparseMemory::new();
+        assert_eq!(m.read_u8(0xdead_beef), 0);
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u64_roundtrip_and_page_accounting() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x1000, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u64(0x1000), 0x0123_4567_89ab_cdef);
+        assert_eq!(m.resident_pages(), 1);
+        m.write_u64(0x2000, 1);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SparseMemory::new();
+        m.write_u64(0x1ffc, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(0x1ffc), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn float_roundtrips() {
+        let mut m = SparseMemory::new();
+        m.write_f64(64, -3.25);
+        assert_eq!(m.read_f64(64), -3.25);
+        m.write_f32(128, 1.5);
+        assert_eq!(m.read_f32(128), 1.5);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let mut m = SparseMemory::new();
+        m.write_u128_words(256, [0xaa, 0xbb]);
+        assert_eq!(m.read_u128_words(256), [0xaa, 0xbb]);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = SparseMemory::new();
+        m.write_u32(0, 0x0102_0304);
+        assert_eq!(m.read_u8(0), 0x04);
+        assert_eq!(m.read_u8(3), 0x01);
+    }
+}

@@ -1,0 +1,352 @@
+//! Programs and the builder used to assemble them.
+//!
+//! A [`Program`] is a sequence of [`Inst`] plus a resolved label table.
+//! Instruction addresses are modeled as `base + 4*index` (prefixed
+//! instructions are *architecturally* 8 bytes, but the model keeps a uniform
+//! 4-byte layout and accounts for prefixed fetch cost in the pipeline —
+//! a documented simplification that does not affect any paper metric).
+
+use crate::inst::Inst;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default code base address for programs.
+pub const CODE_BASE: u64 = 0x1_0000;
+
+/// A branch target label, resolved at [`ProgramBuilder::build`] time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Label(pub(crate) u32);
+
+/// Errors from program assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A label was created but never bound to a position.
+    UnboundLabel(Label),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnboundLabel(l) => write!(f, "label {l:?} was never bound"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A fully assembled program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    insts: Vec<Inst>,
+    /// label id -> instruction index
+    label_targets: Vec<u32>,
+    base: u64,
+}
+
+impl Program {
+    /// The instructions in program order.
+    #[must_use]
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of static instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The code base address.
+    #[must_use]
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The address of the instruction at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len()` (one-past-the-end is allowed as the "fell
+    /// off the end" address).
+    #[must_use]
+    pub fn addr_of(&self, index: usize) -> u64 {
+        assert!(index <= self.insts.len());
+        self.base + 4 * index as u64
+    }
+
+    /// The instruction index for a code address, if it lies within the
+    /// program.
+    #[must_use]
+    pub fn index_of(&self, addr: u64) -> Option<usize> {
+        if addr < self.base || !(addr - self.base).is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((addr - self.base) / 4) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+
+    /// Resolves a label to its instruction index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label does not belong to this program.
+    #[must_use]
+    pub fn resolve(&self, label: Label) -> usize {
+        self.label_targets[label.0 as usize] as usize
+    }
+
+    /// Resolves a label to its code address.
+    #[must_use]
+    pub fn resolve_addr(&self, label: Label) -> u64 {
+        self.addr_of(self.resolve(label))
+    }
+}
+
+/// Incremental assembler for [`Program`]s.
+///
+/// Provides a `push` primitive plus mnemonic convenience methods for the
+/// most common instructions, so kernels read close to Power assembly:
+///
+/// ```
+/// use p10_isa::{ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::gpr(5), 42);
+/// b.add(Reg::gpr(3), Reg::gpr(5), Reg::gpr(5));
+/// let p = b.build();
+/// assert_eq!(p.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Inst>,
+    /// label id -> Some(instruction index) once bound
+    labels: Vec<Option<u32>>,
+    base: u64,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder at the default code base.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder {
+            insts: Vec::new(),
+            labels: Vec::new(),
+            base: CODE_BASE,
+        }
+    }
+
+    /// Sets the code base address.
+    pub fn base(&mut self, base: u64) -> &mut Self {
+        self.base = base;
+        self
+    }
+
+    /// Creates a fresh, not-yet-bound label (for forward branches).
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label((self.labels.len() - 1) as u32)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound.
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0 as usize];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len() as u32);
+    }
+
+    /// Creates a label bound to the current position (for backward
+    /// branches).
+    pub fn bind_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        self.insts.push(inst);
+        self
+    }
+
+    /// Number of instructions appended so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any created label was never bound; use [`try_build`] for a
+    /// fallible version.
+    ///
+    /// [`try_build`]: ProgramBuilder::try_build
+    #[must_use]
+    pub fn build(self) -> Program {
+        self.try_build().expect("all labels must be bound")
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnboundLabel`] if a label was created but
+    /// never bound.
+    pub fn try_build(self) -> Result<Program, ProgramError> {
+        let mut targets = Vec::with_capacity(self.labels.len());
+        for (i, l) in self.labels.iter().enumerate() {
+            match l {
+                Some(t) => targets.push(*t),
+                None => return Err(ProgramError::UnboundLabel(Label(i as u32))),
+            }
+        }
+        Ok(Program {
+            insts: self.insts,
+            label_targets: targets,
+            base: self.base,
+        })
+    }
+}
+
+/// Mnemonic convenience methods (each appends one instruction).
+#[allow(missing_docs)]
+impl ProgramBuilder {
+    pub fn li(&mut self, rt: crate::Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Li { rt, imm })
+    }
+    pub fn addi(&mut self, rt: crate::Reg, ra: crate::Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Addi { rt, ra, imm })
+    }
+    pub fn add(&mut self, rt: crate::Reg, ra: crate::Reg, rb: crate::Reg) -> &mut Self {
+        self.push(Inst::Add { rt, ra, rb })
+    }
+    pub fn sub(&mut self, rt: crate::Reg, ra: crate::Reg, rb: crate::Reg) -> &mut Self {
+        self.push(Inst::Sub { rt, ra, rb })
+    }
+    pub fn mulld(&mut self, rt: crate::Reg, ra: crate::Reg, rb: crate::Reg) -> &mut Self {
+        self.push(Inst::Mulld { rt, ra, rb })
+    }
+    pub fn cmpi(&mut self, bf: crate::Reg, ra: crate::Reg, imm: i64) -> &mut Self {
+        self.push(Inst::Cmpi { bf, ra, imm })
+    }
+    pub fn ld(&mut self, rt: crate::Reg, ra: crate::Reg, disp: i64) -> &mut Self {
+        self.push(Inst::Ld { rt, ra, disp })
+    }
+    pub fn std(&mut self, rs: crate::Reg, ra: crate::Reg, disp: i64) -> &mut Self {
+        self.push(Inst::Std { rs, ra, disp })
+    }
+    pub fn lxv(&mut self, xt: crate::Reg, ra: crate::Reg, disp: i64) -> &mut Self {
+        self.push(Inst::Lxv { xt, ra, disp })
+    }
+    pub fn stxv(&mut self, xs: crate::Reg, ra: crate::Reg, disp: i64) -> &mut Self {
+        self.push(Inst::Stxv { xs, ra, disp })
+    }
+    pub fn mtctr(&mut self, ra: crate::Reg) -> &mut Self {
+        self.push(Inst::Mtctr { ra })
+    }
+    pub fn bdnz(&mut self, target: Label) -> &mut Self {
+        self.push(Inst::Bdnz { target })
+    }
+    pub fn b(&mut self, target: Label) -> &mut Self {
+        self.push(Inst::B { target })
+    }
+    pub fn bc(&mut self, cond: crate::Cond, bf: crate::Reg, target: Label) -> &mut Self {
+        self.push(Inst::Bc { cond, bf, target })
+    }
+    pub fn blr(&mut self) -> &mut Self {
+        self.push(Inst::Blr)
+    }
+    pub fn bl(&mut self, target: Label) -> &mut Self {
+        self.push(Inst::Bl { target })
+    }
+    pub fn nop(&mut self) -> &mut Self {
+        self.push(Inst::Nop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_resolves_backward_label() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        let top = b.bind_label();
+        b.nop();
+        b.bdnz(top);
+        let p = b.build();
+        assert_eq!(p.resolve(top), 1);
+        assert_eq!(p.resolve_addr(top), CODE_BASE + 4);
+    }
+
+    #[test]
+    fn build_resolves_forward_label() {
+        let mut b = ProgramBuilder::new();
+        let out = b.label();
+        b.b(out);
+        b.nop();
+        b.bind(out);
+        b.nop();
+        let p = b.build();
+        assert_eq!(p.resolve(out), 2);
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.b(l);
+        assert!(matches!(b.try_build(), Err(ProgramError::UnboundLabel(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn addr_index_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..10 {
+            b.nop();
+        }
+        let p = b.build();
+        for i in 0..10 {
+            assert_eq!(p.index_of(p.addr_of(i)), Some(i));
+        }
+        assert_eq!(p.index_of(p.base() + 4 * 10), None); // one past end
+        assert_eq!(p.index_of(p.base() + 2), None); // misaligned
+        assert_eq!(p.index_of(p.base().wrapping_sub(4)), None); // below base
+    }
+
+    #[test]
+    fn custom_base() {
+        let mut b = ProgramBuilder::new();
+        b.base(0x4000);
+        b.nop();
+        let p = b.build();
+        assert_eq!(p.base(), 0x4000);
+        assert_eq!(p.addr_of(0), 0x4000);
+    }
+}

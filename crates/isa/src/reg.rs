@@ -1,0 +1,409 @@
+//! Architectural register identifiers.
+//!
+//! Registers are identified by a class plus an index and packed into a
+//! single `u16` so that dynamic-op records stay small. The packing is an
+//! implementation detail; use the typed constructors and accessors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Architectural register classes of the modeled ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// 64-bit general purpose registers `r0`–`r31`.
+    Gpr,
+    /// 128-bit vector-scalar registers `vs0`–`vs63`.
+    Vsr,
+    /// 512-bit MMA accumulators `acc0`–`acc7`.
+    Acc,
+    /// 4-bit condition register fields `cr0`–`cr7`.
+    Cr,
+    /// The count register (loop counter, indirect-branch source).
+    Ctr,
+    /// The link register (call/return).
+    Lr,
+}
+
+impl RegClass {
+    /// Number of architected registers in this class.
+    #[must_use]
+    pub const fn count(self) -> u16 {
+        match self {
+            RegClass::Gpr => 32,
+            RegClass::Vsr => 64,
+            RegClass::Acc => 8,
+            RegClass::Cr => 8,
+            RegClass::Ctr | RegClass::Lr => 1,
+        }
+    }
+
+    const fn base(self) -> u16 {
+        // Packed layout: 1-based so that 0 can mean "no register".
+        match self {
+            RegClass::Gpr => 1,
+            RegClass::Vsr => 1 + 32,
+            RegClass::Acc => 1 + 32 + 64,
+            RegClass::Cr => 1 + 32 + 64 + 8,
+            RegClass::Ctr => 1 + 32 + 64 + 8 + 8,
+            RegClass::Lr => 1 + 32 + 64 + 8 + 8 + 1,
+        }
+    }
+}
+
+/// Total number of architected registers across all classes (for dense
+/// renaming tables). Packed ids are in `1..=ARCH_REG_COUNT`.
+pub const ARCH_REG_COUNT: u16 = 32 + 64 + 8 + 8 + 1 + 1;
+
+/// A typed architectural register identifier.
+///
+/// `Reg` packs the class and index into a `u16`; value `0` is reserved for
+/// "no register" in dynamic-op operand slots (see [`Reg::NONE_PACKED`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u16);
+
+impl Reg {
+    /// Packed representation of "no register".
+    pub const NONE_PACKED: u16 = 0;
+
+    /// Creates a register of the given class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the class.
+    #[must_use]
+    pub fn new(class: RegClass, index: u16) -> Self {
+        assert!(
+            index < class.count(),
+            "register index {index} out of range for {class:?}"
+        );
+        Reg(class.base() + index)
+    }
+
+    /// General purpose register `r{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    #[must_use]
+    pub fn gpr(n: u16) -> Self {
+        Reg::new(RegClass::Gpr, n)
+    }
+
+    /// Vector-scalar register `vs{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 64`.
+    #[must_use]
+    pub fn vsr(n: u16) -> Self {
+        Reg::new(RegClass::Vsr, n)
+    }
+
+    /// MMA accumulator `acc{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    #[must_use]
+    pub fn acc(n: u16) -> Self {
+        Reg::new(RegClass::Acc, n)
+    }
+
+    /// Condition register field `cr{n}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 8`.
+    #[must_use]
+    pub fn cr(n: u16) -> Self {
+        Reg::new(RegClass::Cr, n)
+    }
+
+    /// The count register.
+    #[must_use]
+    pub fn ctr() -> Self {
+        Reg::new(RegClass::Ctr, 0)
+    }
+
+    /// The link register.
+    #[must_use]
+    pub fn lr() -> Self {
+        Reg::new(RegClass::Lr, 0)
+    }
+
+    /// The register class.
+    #[must_use]
+    pub fn class(self) -> RegClass {
+        let v = self.0;
+        debug_assert!(v != 0 && v <= ARCH_REG_COUNT);
+        if v < RegClass::Vsr.base() {
+            RegClass::Gpr
+        } else if v < RegClass::Acc.base() {
+            RegClass::Vsr
+        } else if v < RegClass::Cr.base() {
+            RegClass::Acc
+        } else if v < RegClass::Ctr.base() {
+            RegClass::Cr
+        } else if v < RegClass::Lr.base() {
+            RegClass::Ctr
+        } else {
+            RegClass::Lr
+        }
+    }
+
+    /// The index within the register class.
+    #[must_use]
+    pub fn index(self) -> u16 {
+        self.0 - self.class().base()
+    }
+
+    /// The dense packed id in `1..=ARCH_REG_COUNT`, usable as a rename-table
+    /// index.
+    #[must_use]
+    pub fn packed(self) -> u16 {
+        self.0
+    }
+
+    /// Reconstructs a register from a packed id.
+    ///
+    /// Returns `None` for `0` (the "no register" sentinel) or out-of-range
+    /// values.
+    #[must_use]
+    pub fn from_packed(packed: u16) -> Option<Self> {
+        if packed == 0 || packed > ARCH_REG_COUNT {
+            None
+        } else {
+            Some(Reg(packed))
+        }
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Gpr => write!(f, "r{}", self.index()),
+            RegClass::Vsr => write!(f, "vs{}", self.index()),
+            RegClass::Acc => write!(f, "acc{}", self.index()),
+            RegClass::Cr => write!(f, "cr{}", self.index()),
+            RegClass::Ctr => write!(f, "ctr"),
+            RegClass::Lr => write!(f, "lr"),
+        }
+    }
+}
+
+/// A 512-bit MMA accumulator value: four 128-bit rows, stored as raw bits.
+///
+/// Interpretation depends on the instruction: `xvf32gerpp` views it as a
+/// 4×4 grid of `f32`, `xvf64gerpp` as a 4×2 grid of `f64`, `xvi8ger4pp` as a
+/// 4×4 grid of `i32`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Acc {
+    /// Four rows of two 64-bit words each (512 bits total).
+    pub rows: [[u64; 2]; 4],
+}
+
+impl Acc {
+    /// An accumulator with all bits zero.
+    #[must_use]
+    pub fn zero() -> Self {
+        Acc::default()
+    }
+
+    /// Views the accumulator as a 4×4 grid of `f32`.
+    #[must_use]
+    pub fn as_f32_grid(&self) -> [[f32; 4]; 4] {
+        let mut g = [[0.0f32; 4]; 4];
+        for (i, row) in self.rows.iter().enumerate() {
+            for j in 0..4 {
+                let word = row[j / 2];
+                let lane = (j % 2) as u32;
+                g[i][j] = f32::from_bits((word >> (32 * lane)) as u32);
+            }
+        }
+        g
+    }
+
+    /// Stores a 4×4 grid of `f32` into the accumulator.
+    pub fn set_f32_grid(&mut self, g: [[f32; 4]; 4]) {
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            for w in 0..2 {
+                let lo = g[i][2 * w].to_bits() as u64;
+                let hi = g[i][2 * w + 1].to_bits() as u64;
+                row[w] = lo | (hi << 32);
+            }
+        }
+    }
+
+    /// Views the accumulator as a 4×2 grid of `f64`.
+    #[must_use]
+    pub fn as_f64_grid(&self) -> [[f64; 2]; 4] {
+        let mut g = [[0.0f64; 2]; 4];
+        for (i, row) in self.rows.iter().enumerate() {
+            for j in 0..2 {
+                g[i][j] = f64::from_bits(row[j]);
+            }
+        }
+        g
+    }
+
+    /// Stores a 4×2 grid of `f64` into the accumulator.
+    pub fn set_f64_grid(&mut self, g: [[f64; 2]; 4]) {
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            for j in 0..2 {
+                row[j] = g[i][j].to_bits();
+            }
+        }
+    }
+
+    /// Views the accumulator as a 4×4 grid of `i32`.
+    #[must_use]
+    pub fn as_i32_grid(&self) -> [[i32; 4]; 4] {
+        let mut g = [[0i32; 4]; 4];
+        for (i, row) in self.rows.iter().enumerate() {
+            for j in 0..4 {
+                let word = row[j / 2];
+                let lane = (j % 2) as u32;
+                g[i][j] = (word >> (32 * lane)) as u32 as i32;
+            }
+        }
+        g
+    }
+
+    /// Stores a 4×4 grid of `i32` into the accumulator.
+    pub fn set_i32_grid(&mut self, g: [[i32; 4]; 4]) {
+        for (i, row) in self.rows.iter_mut().enumerate() {
+            for w in 0..2 {
+                let lo = g[i][2 * w] as u32 as u64;
+                let hi = g[i][2 * w + 1] as u32 as u64;
+                row[w] = lo | (hi << 32);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packing_roundtrip_all_classes() {
+        let all = [
+            Reg::gpr(0),
+            Reg::gpr(31),
+            Reg::vsr(0),
+            Reg::vsr(63),
+            Reg::acc(0),
+            Reg::acc(7),
+            Reg::cr(0),
+            Reg::cr(7),
+            Reg::ctr(),
+            Reg::lr(),
+        ];
+        for r in all {
+            let p = r.packed();
+            assert_ne!(p, Reg::NONE_PACKED);
+            assert_eq!(Reg::from_packed(p), Some(r));
+        }
+    }
+
+    #[test]
+    fn class_and_index_recovered() {
+        assert_eq!(Reg::gpr(5).class(), RegClass::Gpr);
+        assert_eq!(Reg::gpr(5).index(), 5);
+        assert_eq!(Reg::vsr(40).class(), RegClass::Vsr);
+        assert_eq!(Reg::vsr(40).index(), 40);
+        assert_eq!(Reg::acc(3).class(), RegClass::Acc);
+        assert_eq!(Reg::acc(3).index(), 3);
+        assert_eq!(Reg::cr(2).class(), RegClass::Cr);
+        assert_eq!(Reg::ctr().class(), RegClass::Ctr);
+        assert_eq!(Reg::lr().class(), RegClass::Lr);
+    }
+
+    #[test]
+    fn packed_ids_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for g in 0..32 {
+            assert!(seen.insert(Reg::gpr(g).packed()));
+        }
+        for v in 0..64 {
+            assert!(seen.insert(Reg::vsr(v).packed()));
+        }
+        for a in 0..8 {
+            assert!(seen.insert(Reg::acc(a).packed()));
+        }
+        for c in 0..8 {
+            assert!(seen.insert(Reg::cr(c).packed()));
+        }
+        assert!(seen.insert(Reg::ctr().packed()));
+        assert!(seen.insert(Reg::lr().packed()));
+        assert_eq!(seen.len(), ARCH_REG_COUNT as usize);
+        assert_eq!(*seen.iter().max().unwrap(), ARCH_REG_COUNT);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn gpr_index_out_of_range_panics() {
+        let _ = Reg::gpr(32);
+    }
+
+    #[test]
+    fn from_packed_rejects_sentinel_and_out_of_range() {
+        assert_eq!(Reg::from_packed(0), None);
+        assert_eq!(Reg::from_packed(ARCH_REG_COUNT + 1), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::gpr(3).to_string(), "r3");
+        assert_eq!(Reg::vsr(32).to_string(), "vs32");
+        assert_eq!(Reg::acc(1).to_string(), "acc1");
+        assert_eq!(Reg::cr(0).to_string(), "cr0");
+        assert_eq!(Reg::ctr().to_string(), "ctr");
+        assert_eq!(Reg::lr().to_string(), "lr");
+    }
+
+    #[test]
+    fn acc_f32_grid_roundtrip() {
+        let mut acc = Acc::zero();
+        let mut g = [[0.0f32; 4]; 4];
+        for (i, gi) in g.iter_mut().enumerate() {
+            for (j, gij) in gi.iter_mut().enumerate() {
+                *gij = (i * 4 + j) as f32 * 1.5 - 3.0;
+            }
+        }
+        acc.set_f32_grid(g);
+        assert_eq!(acc.as_f32_grid(), g);
+    }
+
+    #[test]
+    fn acc_f64_grid_roundtrip() {
+        let mut acc = Acc::zero();
+        let g = [[1.0, -2.0], [3.5, 0.25], [-0.5, 9.0], [7.0, 8.0]];
+        acc.set_f64_grid(g);
+        assert_eq!(acc.as_f64_grid(), g);
+    }
+
+    #[test]
+    fn acc_i32_grid_roundtrip() {
+        let mut acc = Acc::zero();
+        let mut g = [[0i32; 4]; 4];
+        for (i, gi) in g.iter_mut().enumerate() {
+            for (j, gij) in gi.iter_mut().enumerate() {
+                *gij = (i as i32 * 4 + j as i32) * -1000 + 7;
+            }
+        }
+        acc.set_i32_grid(g);
+        assert_eq!(acc.as_i32_grid(), g);
+    }
+
+    #[test]
+    fn acc_zero_is_all_zero_bits() {
+        assert_eq!(Acc::zero().rows, [[0u64; 2]; 4]);
+    }
+}

@@ -1,0 +1,365 @@
+//! Layer-accurate workload graphs for the Fig. 6 inference studies.
+//!
+//! Both models are described as sequences of GEMM operations (convolutions
+//! via im2col) plus non-GEMM work (activation functions, normalization,
+//! residual adds, data loading/preprocessing) expressed as elementwise
+//! flops and moved bytes. The end-to-end inference model in
+//! `p10-core::inference` combines these shapes with kernel throughputs
+//! measured on the cycle model.
+
+use serde::{Deserialize, Serialize};
+
+/// A GEMM operation shape: `C[M×N] += A[M×K] · B[K×N]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GemmShape {
+    /// Rows of C.
+    pub m: u64,
+    /// Columns of C.
+    pub n: u64,
+    /// Inner (reduction) dimension.
+    pub k: u64,
+}
+
+impl GemmShape {
+    /// Floating-point operations (multiply + add).
+    #[must_use]
+    pub fn flops(&self) -> u64 {
+        2 * self.m * self.n * self.k
+    }
+}
+
+/// One layer of work.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerOp {
+    /// Layer name (e.g. `"conv3_2/3x3"`).
+    pub name: String,
+    /// The GEMM, if this layer is GEMM-shaped.
+    pub gemm: Option<GemmShape>,
+    /// Non-GEMM elementwise flops (activations, normalization, residual).
+    pub elementwise_flops: u64,
+    /// Bytes moved that are not captured by the GEMM operands (weight
+    /// streaming, activations between layers, preprocessing).
+    pub moved_bytes: u64,
+}
+
+/// A full model as a sequence of layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelGraph {
+    /// Model name.
+    pub name: String,
+    /// Inference batch size.
+    pub batch: u64,
+    /// Layers in execution order.
+    pub layers: Vec<LayerOp>,
+    /// Parameter count (for the data-loading share; BERT-Large has >10×
+    /// the parameters of ResNet-50, which the paper calls out as the
+    /// reason its non-GEMM share is bigger).
+    pub parameters: u64,
+}
+
+impl ModelGraph {
+    /// Total GEMM flops over the whole model.
+    #[must_use]
+    pub fn gemm_flops(&self) -> u64 {
+        self.layers
+            .iter()
+            .filter_map(|l| l.gemm.map(|g| g.flops()))
+            .sum()
+    }
+
+    /// Total non-GEMM elementwise flops.
+    #[must_use]
+    pub fn elementwise_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.elementwise_flops).sum()
+    }
+
+    /// Total non-GEMM moved bytes.
+    #[must_use]
+    pub fn moved_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.moved_bytes).sum()
+    }
+
+    /// Fraction of total flops performed inside GEMMs.
+    #[must_use]
+    pub fn gemm_flop_fraction(&self) -> f64 {
+        let g = self.gemm_flops() as f64;
+        let e = self.elementwise_flops() as f64;
+        if g + e == 0.0 {
+            0.0
+        } else {
+            g / (g + e)
+        }
+    }
+}
+
+fn conv(name: &str, cout: u64, cin: u64, ksz: u64, out_hw: u64, batch: u64) -> LayerOp {
+    let gemm = GemmShape {
+        m: cout,
+        k: cin * ksz * ksz,
+        n: out_hw * out_hw * batch,
+    };
+    let outputs = cout * out_hw * out_hw * batch;
+    LayerOp {
+        name: name.to_owned(),
+        gemm: Some(gemm),
+        // BN + ReLU: ~4 ops per output element.
+        elementwise_flops: outputs * 4,
+        // Activations written + weights streamed once per batch.
+        moved_bytes: outputs * 4 + cout * cin * ksz * ksz * 4,
+    }
+}
+
+/// ResNet-50 (ImageNet, 224×224 inputs) as im2col GEMMs.
+///
+/// The paper's Fig. 6 uses batch size 100.
+#[must_use]
+pub fn resnet50(batch: u64) -> ModelGraph {
+    let mut layers = Vec::new();
+    layers.push(conv("conv1/7x7", 64, 3, 7, 112, batch));
+
+    // (stage, blocks, width, out_hw)
+    let stages: [(u64, u64, u64, u64); 4] = [
+        (2, 3, 64, 56),
+        (3, 4, 128, 28),
+        (4, 6, 256, 14),
+        (5, 3, 512, 7),
+    ];
+    let mut in_ch = 64u64;
+    for (stage, blocks, width, hw) in stages {
+        for blk in 0..blocks {
+            let prefix = format!("conv{stage}_{}", blk + 1);
+            layers.push(conv(&format!("{prefix}/1x1a"), width, in_ch, 1, hw, batch));
+            layers.push(conv(&format!("{prefix}/3x3"), width, width, 3, hw, batch));
+            layers.push(conv(
+                &format!("{prefix}/1x1b"),
+                width * 4,
+                width,
+                1,
+                hw,
+                batch,
+            ));
+            if blk == 0 {
+                layers.push(conv(
+                    &format!("{prefix}/downsample"),
+                    width * 4,
+                    in_ch,
+                    1,
+                    hw,
+                    batch,
+                ));
+            }
+            // Residual add.
+            let outputs = width * 4 * hw * hw * batch;
+            layers.push(LayerOp {
+                name: format!("{prefix}/residual"),
+                gemm: None,
+                elementwise_flops: outputs,
+                moved_bytes: outputs * 8,
+            });
+            in_ch = width * 4;
+        }
+    }
+    // Global average pool + FC.
+    layers.push(LayerOp {
+        name: "avgpool".to_owned(),
+        gemm: None,
+        elementwise_flops: 2048 * 49 * batch,
+        moved_bytes: 2048 * 49 * 4 * batch,
+    });
+    layers.push(LayerOp {
+        name: "fc1000".to_owned(),
+        gemm: Some(GemmShape {
+            m: 1000,
+            k: 2048,
+            n: batch,
+        }),
+        elementwise_flops: 1000 * batch,
+        moved_bytes: 1000 * 2048 * 4,
+    });
+    // Input preprocessing (decode/normalize 224x224x3 images).
+    layers.insert(
+        0,
+        LayerOp {
+            name: "preprocess".to_owned(),
+            gemm: None,
+            elementwise_flops: 224 * 224 * 3 * 10 * batch,
+            moved_bytes: 224 * 224 * 3 * 8 * batch,
+        },
+    );
+    ModelGraph {
+        name: "ResNet-50".to_owned(),
+        batch,
+        layers,
+        parameters: 25_600_000,
+    }
+}
+
+/// BERT-Large (24 layers, hidden 1024, 16 heads, FFN 4096).
+///
+/// The paper's Fig. 6 uses batch size 8 on SQuAD v1.1; we use sequence
+/// length 384 (the standard SQuAD fine-tuning length).
+#[must_use]
+pub fn bert_large(batch: u64, seq: u64) -> ModelGraph {
+    let h = 1024u64;
+    let heads = 16u64;
+    let dh = h / heads; // 64
+    let ffn = 4096u64;
+    let n_tok = batch * seq;
+    let mut layers = Vec::new();
+
+    // Embedding lookup + layernorm: pure data movement + elementwise.
+    layers.push(LayerOp {
+        name: "embeddings".to_owned(),
+        gemm: None,
+        elementwise_flops: n_tok * h * 6,
+        moved_bytes: n_tok * h * 12,
+    });
+
+    for l in 0..24 {
+        let p = format!("layer{l}");
+        for (nm, m, k) in [("q", h, h), ("k", h, h), ("v", h, h)] {
+            layers.push(LayerOp {
+                name: format!("{p}/{nm}_proj"),
+                gemm: Some(GemmShape { m, k, n: n_tok }),
+                elementwise_flops: n_tok * h,
+                moved_bytes: h * h * 4,
+            });
+        }
+        // Attention scores: QK^T per head.
+        layers.push(LayerOp {
+            name: format!("{p}/scores"),
+            gemm: Some(GemmShape {
+                m: seq,
+                k: dh,
+                n: seq * batch * heads,
+            }),
+            // Softmax ~8 ops/score.
+            elementwise_flops: seq * seq * batch * heads * 8,
+            moved_bytes: seq * seq * batch * heads * 4,
+        });
+        // Attention-weighted values.
+        layers.push(LayerOp {
+            name: format!("{p}/context"),
+            gemm: Some(GemmShape {
+                m: dh,
+                k: seq,
+                n: seq * batch * heads,
+            }),
+            elementwise_flops: 0,
+            moved_bytes: n_tok * h * 4,
+        });
+        layers.push(LayerOp {
+            name: format!("{p}/out_proj"),
+            gemm: Some(GemmShape {
+                m: h,
+                k: h,
+                n: n_tok,
+            }),
+            // Residual + layernorm.
+            elementwise_flops: n_tok * h * 8,
+            moved_bytes: h * h * 4 + n_tok * h * 8,
+        });
+        layers.push(LayerOp {
+            name: format!("{p}/ffn1"),
+            gemm: Some(GemmShape {
+                m: ffn,
+                k: h,
+                n: n_tok,
+            }),
+            // GELU ~10 ops/element.
+            elementwise_flops: n_tok * ffn * 10,
+            moved_bytes: h * ffn * 4,
+        });
+        layers.push(LayerOp {
+            name: format!("{p}/ffn2"),
+            gemm: Some(GemmShape {
+                m: h,
+                k: ffn,
+                n: n_tok,
+            }),
+            elementwise_flops: n_tok * h * 8,
+            moved_bytes: h * ffn * 4 + n_tok * h * 8,
+        });
+    }
+    // Span classification head.
+    layers.push(LayerOp {
+        name: "qa_head".to_owned(),
+        gemm: Some(GemmShape {
+            m: 2,
+            k: h,
+            n: n_tok,
+        }),
+        elementwise_flops: n_tok * 4,
+        moved_bytes: n_tok * h * 4,
+    });
+
+    ModelGraph {
+        name: "BERT-Large".to_owned(),
+        batch,
+        layers,
+        parameters: 340_000_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_shape_flops() {
+        let g = GemmShape { m: 2, n: 3, k: 4 };
+        assert_eq!(g.flops(), 48);
+    }
+
+    #[test]
+    fn resnet50_structure() {
+        let m = resnet50(1);
+        // 1 stem + (3+4+6+3)=16 blocks × 3 convs + 4 downsamples + fc = 69
+        let convs = m.layers.iter().filter(|l| l.gemm.is_some()).count();
+        assert_eq!(convs, 1 + 16 * 3 + 4 + 1);
+        // ResNet-50 is ~3.8 GMACs = ~7.7 GFLOPs at 2 ops per MAC.
+        let gf = m.gemm_flops() as f64 / 1e9;
+        assert!((7.0..8.5).contains(&gf), "ResNet-50 GFLOP/image = {gf}");
+        // GEMMs dominate the flops.
+        assert!(m.gemm_flop_fraction() > 0.9);
+    }
+
+    #[test]
+    fn resnet50_scales_with_batch() {
+        let m1 = resnet50(1);
+        let m100 = resnet50(100);
+        let r = m100.gemm_flops() as f64 / m1.gemm_flops() as f64;
+        assert!((r - 100.0).abs() < 1.0, "batch scaling ratio {r}");
+    }
+
+    #[test]
+    fn bert_large_structure() {
+        let m = bert_large(8, 384);
+        // 24 layers × 8 GEMM layers (q,k,v,scores,context,out,ffn1,ffn2)
+        // + qa head.
+        let gemms = m.layers.iter().filter(|l| l.gemm.is_some()).count();
+        assert_eq!(gemms, 24 * 8 + 1);
+        // ≈ 2 × params × tokens + attention ≈ 2 TFLOP per 8×384 batch.
+        let gf = m.gemm_flops() as f64 / 1e9;
+        assert!(
+            (1500.0..2500.0).contains(&gf),
+            "BERT-Large batch GFLOP = {gf}"
+        );
+        assert!(m.parameters > 10 * resnet50(1).parameters);
+    }
+
+    #[test]
+    fn bert_is_more_gemm_concentrated_but_heavier_per_token() {
+        // The paper: BERT has a larger proportion of GEMM instructions
+        // (slightly higher MMA speedup) yet its >10× parameter count makes
+        // weight streaming a bigger burden per token (lower no-MMA
+        // speedup). Both facts must hold structurally.
+        let r = resnet50(100);
+        let b = bert_large(8, 384);
+        assert!(b.gemm_flop_fraction() > r.gemm_flop_fraction());
+        let weight_bytes_per_token_r = r.parameters as f64 * 4.0 / (100.0 * 1.0);
+        let weight_bytes_per_token_b = b.parameters as f64 * 4.0 / (8.0 * 384.0);
+        assert!(weight_bytes_per_token_b < weight_bytes_per_token_r);
+        assert!(b.parameters > 10 * r.parameters);
+    }
+}

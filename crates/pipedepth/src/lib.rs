@@ -1,0 +1,270 @@
+//! # p10-pipedepth
+//!
+//! The optimal pipeline-depth study of paper §II-A (Fig. 2), following
+//! the methodology of Srinivasan et al. ("Optimizing pipelines for power
+//! and performance") and Zyuban's hardware-intensity work: sweep the
+//! logic depth per stage (FO4) for several core power targets, model
+//! power-limited frequency, and find the throughput-optimal point.
+//!
+//! Model summary (all quantities relative to a reference design):
+//!
+//! * Cycle time per stage = `fo4 + latch_overhead` (latch insertion +
+//!   skew, in FO4 units); frequency ∝ 1/cycle-time.
+//! * Pipeline stages = `logic_depth / fo4`; deeper pipes raise CPI via
+//!   hazard penalties that scale with stage count (branch redirect,
+//!   dependent-op bubbles).
+//! * Power components, per the Einspower decomposition the paper cites:
+//!   latch-clock power ∝ latches × frequency (latch count grows
+//!   superlinearly with stage count), logic data switching ∝ frequency,
+//!   arrays/register files ∝ frequency with a weak depth term, leakage ∝
+//!   latch count.
+//! * If the power at max frequency exceeds the target envelope, voltage
+//!   and frequency scale down together (`P ∝ f³` on the DVFS curve) until
+//!   the design fits — the paper's "power limited frequency constraint".
+//!
+//! Performance is reported in relative BIPS, normalized to the optimum of
+//! the baseline (1.0×) power target, exactly like Fig. 2's y-axis.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+
+/// Model parameters (calibrated once; see DESIGN.md §4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepthParams {
+    /// Total logic depth of the machine in FO4 (work per instruction).
+    pub logic_depth: f64,
+    /// Latch insertion + clock-skew overhead per stage, in FO4.
+    pub latch_overhead: f64,
+    /// Base CPI at a hypothetical 1-stage machine.
+    pub cpi_base: f64,
+    /// Hazard CPI added per pipeline stage (branch redirects, bubbles).
+    pub hazard_per_stage: f64,
+    /// Latch-count growth exponent with stage count.
+    pub latch_growth: f64,
+    /// Share of reference power that is latch-clock power.
+    pub clock_share: f64,
+    /// Share that is logic/array switching.
+    pub switch_share: f64,
+    /// Share that is leakage.
+    pub leak_share: f64,
+}
+
+impl Default for DepthParams {
+    fn default() -> Self {
+        DepthParams {
+            logic_depth: 480.0,
+            latch_overhead: 3.0,
+            cpi_base: 0.55,
+            hazard_per_stage: 0.022,
+            latch_growth: 1.1,
+            clock_share: 0.45,
+            switch_share: 0.40,
+            leak_share: 0.15,
+        }
+    }
+}
+
+/// Reference FO4 at which power shares are defined (the POWER9-class
+/// baseline design point).
+pub const REF_FO4: f64 = 27.0;
+
+/// One point of the Fig. 2 sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DepthPoint {
+    /// Logic FO4 per stage.
+    pub fo4: f64,
+    /// Power target as a fraction of the baseline design's power.
+    pub power_target: f64,
+    /// Relative performance (BIPS), normalized by the caller.
+    pub bips: f64,
+    /// Power-limited frequency (relative to the reference design).
+    pub freq: f64,
+    /// Unconstrained power at maximum frequency (relative).
+    pub unconstrained_power: f64,
+}
+
+impl DepthParams {
+    fn stages(&self, fo4: f64) -> f64 {
+        self.logic_depth / fo4
+    }
+
+    /// Maximum frequency at this FO4, relative to the reference design.
+    #[must_use]
+    pub fn max_freq(&self, fo4: f64) -> f64 {
+        (REF_FO4 + self.latch_overhead) / (fo4 + self.latch_overhead)
+    }
+
+    /// Instructions per cycle at this depth.
+    #[must_use]
+    pub fn ipc(&self, fo4: f64) -> f64 {
+        1.0 / (self.cpi_base + self.hazard_per_stage * self.stages(fo4))
+    }
+
+    /// Power at maximum frequency, relative to the reference design at
+    /// reference FO4.
+    #[must_use]
+    pub fn power_at_max_freq(&self, fo4: f64) -> f64 {
+        let f = self.max_freq(fo4);
+        let latch_ratio = (self.stages(fo4) / self.stages(REF_FO4)).powf(self.latch_growth);
+        self.clock_share * latch_ratio * f + self.switch_share * f + self.leak_share * latch_ratio
+    }
+
+    /// Evaluates one sweep point under a power target: frequency (and
+    /// voltage, down to the Vmin floor) scale until the envelope is met.
+    #[must_use]
+    pub fn evaluate(&self, fo4: f64, power_target: f64) -> DepthPoint {
+        const V_FLOOR: f64 = 0.7; // minimum voltage, fraction of nominal
+        let p_max = self.power_at_max_freq(fo4);
+        // DVFS: P ∝ V²·f with V tracking f down to the Vmin floor; below
+        // it only frequency scales (P ∝ f), which punishes power-hungry
+        // deep pipelines much harder at very low power targets.
+        let ratio = (power_target / p_max).min(1.0);
+        let scale = if ratio >= V_FLOOR.powi(3) {
+            ratio.cbrt()
+        } else {
+            ratio / (V_FLOOR * V_FLOOR)
+        };
+        let freq = self.max_freq(fo4) * scale;
+        DepthPoint {
+            fo4,
+            power_target,
+            bips: freq * self.ipc(fo4),
+            freq,
+            unconstrained_power: p_max,
+        }
+    }
+}
+
+/// The full Fig. 2 dataset: BIPS vs FO4 curves for each power target,
+/// normalized to the baseline-power optimum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Sweep points, grouped by power target in the order given.
+    pub points: Vec<DepthPoint>,
+    /// The FO4 grid used.
+    pub fo4_grid: Vec<f64>,
+    /// The power targets used (fractions of baseline).
+    pub power_targets: Vec<f64>,
+}
+
+impl Fig2 {
+    /// The optimal FO4 for a power target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target was not part of the sweep.
+    #[must_use]
+    pub fn optimal_fo4(&self, power_target: f64) -> f64 {
+        self.points
+            .iter()
+            .filter(|p| (p.power_target - power_target).abs() < 1e-9)
+            .max_by(|a, b| a.bips.partial_cmp(&b.bips).expect("finite"))
+            .expect("target must be in the sweep")
+            .fo4
+    }
+}
+
+/// Runs the Fig. 2 sweep with the paper's power targets (0.5×–1.0× of
+/// the baseline) plus optional extra low-power targets.
+#[must_use]
+pub fn run_fig2(params: &DepthParams, extra_targets: &[f64]) -> Fig2 {
+    let fo4_grid: Vec<f64> = (8..=50).map(f64::from).collect();
+    let mut power_targets = vec![1.0, 0.85, 0.7, 0.5];
+    power_targets.extend_from_slice(extra_targets);
+
+    let mut points = Vec::new();
+    for &t in &power_targets {
+        for &fo4 in &fo4_grid {
+            points.push(params.evaluate(fo4, t));
+        }
+    }
+    // Normalize BIPS to the baseline-target optimum (Fig. 2 y-axis).
+    let norm = points
+        .iter()
+        .filter(|p| (p.power_target - 1.0).abs() < 1e-9)
+        .map(|p| p.bips)
+        .fold(0.0f64, f64::max);
+    if norm > 0.0 {
+        for p in &mut points {
+            p.bips /= norm;
+        }
+    }
+    Fig2 {
+        points,
+        fo4_grid,
+        power_targets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_stable_at_27_fo4_for_targets_of_interest() {
+        // The paper's central Fig. 2 result: the optimal pipeline depth
+        // holds at ~27 FO4 across the 0.5x-1.0x power targets.
+        let f = run_fig2(&DepthParams::default(), &[]);
+        for t in [1.0, 0.85, 0.7, 0.5] {
+            let opt = f.optimal_fo4(t);
+            assert!(
+                (23.0..=31.0).contains(&opt),
+                "optimum at target {t} must sit near 27 FO4, got {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn very_low_power_targets_prefer_shallower_pipes() {
+        // "higher FO4 points were indicated as optimal for lower core
+        // power targets".
+        let f = run_fig2(&DepthParams::default(), &[0.25, 0.15]);
+        let opt_base = f.optimal_fo4(1.0);
+        let opt_low = f.optimal_fo4(0.15);
+        assert!(
+            opt_low > opt_base + 4.0,
+            "low-power optimum {opt_low} must be shallower (higher FO4) than {opt_base}"
+        );
+    }
+
+    #[test]
+    fn bips_normalized_to_baseline_optimum() {
+        let f = run_fig2(&DepthParams::default(), &[]);
+        let max_base = f
+            .points
+            .iter()
+            .filter(|p| (p.power_target - 1.0).abs() < 1e-9)
+            .map(|p| p.bips)
+            .fold(0.0f64, f64::max);
+        assert!((max_base - 1.0).abs() < 1e-12);
+        // Lower targets can only do worse or equal.
+        for p in &f.points {
+            assert!(p.bips <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn deeper_pipes_raise_frequency_but_hurt_ipc() {
+        let p = DepthParams::default();
+        assert!(p.max_freq(14.0) > p.max_freq(27.0));
+        assert!(p.ipc(14.0) < p.ipc(27.0));
+    }
+
+    #[test]
+    fn power_envelope_caps_frequency() {
+        let p = DepthParams::default();
+        let unconstrained = p.evaluate(14.0, 100.0);
+        let constrained = p.evaluate(14.0, 0.5);
+        assert!(constrained.freq < unconstrained.freq);
+        assert!(constrained.bips < unconstrained.bips);
+    }
+
+    #[test]
+    fn deep_pipe_at_max_freq_burns_more_power() {
+        let p = DepthParams::default();
+        assert!(p.power_at_max_freq(14.0) > p.power_at_max_freq(27.0));
+        assert!(p.power_at_max_freq(27.0) > p.power_at_max_freq(45.0));
+    }
+}

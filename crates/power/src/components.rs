@@ -1,0 +1,398 @@
+//! The 39-component decomposition of the core (+L2+L3) used by the
+//! bottom-up power model.
+//!
+//! The paper's bottom-up macro model decomposes the core into 39
+//! components (§III-D); this module defines the same granularity for the
+//! simulated core. Each component carries a latch budget and an array
+//! capacity derived from the configuration, so structure-size changes
+//! (bigger L2, deeper queues, doubled predictors...) show up in clock and
+//! leakage power automatically.
+
+use p10_uarch::CoreConfig;
+use serde::{Deserialize, Serialize};
+
+/// Identity of a power component (39 total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // names are self-describing unit identities
+pub enum ComponentKind {
+    FetchControl,
+    ICacheArray,
+    BranchDirection,
+    BranchIndirect,
+    ReturnStack,
+    Predecode,
+    InstructionBuffer,
+    Decode,
+    FusionLogic,
+    Dispatch,
+    InstructionTable,
+    RenameMapper,
+    IssueQueue,
+    RegfileGpr,
+    RegfileVsr,
+    BypassNetwork,
+    AluSlices,
+    MulUnit,
+    DivUnit,
+    BranchExec,
+    VsxPipes,
+    MmaGrid,
+    MmaAccumulators,
+    LsuAgen,
+    LoadQueue,
+    StoreQueue,
+    LoadMissQueue,
+    L1DArray,
+    Erat,
+    Tlb,
+    PrefetchEngine,
+    StoreDrain,
+    Completion,
+    SprUnit,
+    PervasiveClock,
+    L2Array,
+    L2Control,
+    L3Array,
+    L3Control,
+}
+
+impl ComponentKind {
+    /// All 39 components.
+    pub const ALL: [ComponentKind; 39] = [
+        ComponentKind::FetchControl,
+        ComponentKind::ICacheArray,
+        ComponentKind::BranchDirection,
+        ComponentKind::BranchIndirect,
+        ComponentKind::ReturnStack,
+        ComponentKind::Predecode,
+        ComponentKind::InstructionBuffer,
+        ComponentKind::Decode,
+        ComponentKind::FusionLogic,
+        ComponentKind::Dispatch,
+        ComponentKind::InstructionTable,
+        ComponentKind::RenameMapper,
+        ComponentKind::IssueQueue,
+        ComponentKind::RegfileGpr,
+        ComponentKind::RegfileVsr,
+        ComponentKind::BypassNetwork,
+        ComponentKind::AluSlices,
+        ComponentKind::MulUnit,
+        ComponentKind::DivUnit,
+        ComponentKind::BranchExec,
+        ComponentKind::VsxPipes,
+        ComponentKind::MmaGrid,
+        ComponentKind::MmaAccumulators,
+        ComponentKind::LsuAgen,
+        ComponentKind::LoadQueue,
+        ComponentKind::StoreQueue,
+        ComponentKind::LoadMissQueue,
+        ComponentKind::L1DArray,
+        ComponentKind::Erat,
+        ComponentKind::Tlb,
+        ComponentKind::PrefetchEngine,
+        ComponentKind::StoreDrain,
+        ComponentKind::Completion,
+        ComponentKind::SprUnit,
+        ComponentKind::PervasiveClock,
+        ComponentKind::L2Array,
+        ComponentKind::L2Control,
+        ComponentKind::L3Array,
+        ComponentKind::L3Control,
+    ];
+
+    /// Whether this component belongs to the nest (L2/L3) rather than the
+    /// core proper. Core-power figures (e.g. Fig. 5) exclude these.
+    #[must_use]
+    pub fn is_nest(self) -> bool {
+        matches!(
+            self,
+            ComponentKind::L2Array
+                | ComponentKind::L2Control
+                | ComponentKind::L3Array
+                | ComponentKind::L3Control
+        )
+    }
+
+    /// Whether this component is power-gated when fully idle (the MMA
+    /// unit, paper §IV-A).
+    #[must_use]
+    pub fn is_power_gated(self) -> bool {
+        matches!(
+            self,
+            ComponentKind::MmaGrid | ComponentKind::MmaAccumulators
+        )
+    }
+}
+
+/// Physical description of one component instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentSpec {
+    /// Which component.
+    pub kind: ComponentKind,
+    /// Latch budget (relative units).
+    pub latches: f64,
+    /// Array capacity in KiB (SRAM-like storage).
+    pub array_kb: f64,
+}
+
+/// Builds the 39 component specs for a configuration.
+#[must_use]
+pub fn build_components(cfg: &CoreConfig) -> Vec<ComponentSpec> {
+    let mut v: Vec<ComponentSpec> = Vec::with_capacity(39);
+    macro_rules! push {
+        ($kind:expr, $latches:expr, $array_kb:expr $(,)?) => {
+            v.push(ComponentSpec {
+                kind: $kind,
+                latches: $latches,
+                array_kb: $array_kb,
+            });
+        };
+    }
+    let kb = |bytes: u64| bytes as f64 / 1024.0;
+
+    push!(
+        ComponentKind::FetchControl,
+        6_000.0 + f64::from(cfg.fetch_width) * 500.0,
+        0.0,
+    );
+    push!(ComponentKind::ICacheArray, 1_000.0, kb(cfg.l1i.size_bytes));
+    let dir_kb = f64::from(cfg.branch.direction_entries) * 2.0 / 8.0 / 1024.0;
+    push!(
+        ComponentKind::BranchDirection,
+        2_000.0 + f64::from(cfg.branch.long_history_entries) / 16.0,
+        dir_kb + f64::from(cfg.branch.long_history_entries) * 4.0 / 8.0 / 1024.0,
+    );
+    push!(
+        ComponentKind::BranchIndirect,
+        500.0,
+        f64::from(cfg.branch.indirect_entries) * 8.0 / 1024.0,
+    );
+    push!(
+        ComponentKind::ReturnStack,
+        f64::from(cfg.branch.return_stack) * 70.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::Predecode,
+        if cfg.fusion { 5_000.0 } else { 3_000.0 },
+        0.0,
+    );
+    push!(
+        ComponentKind::InstructionBuffer,
+        f64::from(cfg.fetch_buffer) * 150.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::Decode,
+        f64::from(cfg.decode_width) * 1_800.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::FusionLogic,
+        if cfg.fusion { 2_500.0 } else { 0.0 },
+        0.0,
+    );
+    push!(
+        ComponentKind::Dispatch,
+        f64::from(cfg.dispatch_width) * 900.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::InstructionTable,
+        f64::from(cfg.itable_entries) * 45.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::RenameMapper,
+        if cfg.unified_regfile {
+            3_500.0
+        } else {
+            4_500.0
+        },
+        0.0,
+    );
+    // Reservation stations hold operand *data* in latches; the unified
+    // design keeps only tags in the queue and data in dense arrays.
+    push!(
+        ComponentKind::IssueQueue,
+        f64::from(cfg.issue_queue_entries) * if cfg.unified_regfile { 60.0 } else { 220.0 },
+        0.0,
+    );
+    if cfg.unified_regfile {
+        push!(ComponentKind::RegfileGpr, 1_000.0, 16.0);
+        push!(ComponentKind::RegfileVsr, 1_500.0, 32.0);
+    } else {
+        push!(ComponentKind::RegfileGpr, 14_000.0, 0.0);
+        push!(ComponentKind::RegfileVsr, 20_000.0, 0.0);
+    }
+    push!(
+        ComponentKind::BypassNetwork,
+        f64::from(cfg.int_slices) * 1_200.0 + f64::from(cfg.vsx_units) * 1_500.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::AluSlices,
+        f64::from(cfg.int_slices) * 2_500.0,
+        0.0,
+    );
+    push!(ComponentKind::MulUnit, 3_000.0, 0.0);
+    push!(ComponentKind::DivUnit, 2_500.0, 0.0);
+    push!(
+        ComponentKind::BranchExec,
+        if cfg.branch_slices >= cfg.int_slices {
+            800.0 // merged into the general slices (POWER10)
+        } else {
+            2_000.0 // dedicated branch port (POWER9)
+        },
+        0.0,
+    );
+    push!(
+        ComponentKind::VsxPipes,
+        f64::from(cfg.vsx_units) * 6_000.0,
+        0.0,
+    );
+    if cfg.mma.is_some() {
+        push!(ComponentKind::MmaGrid, 9_000.0, 0.0);
+        push!(ComponentKind::MmaAccumulators, 5_000.0, 0.0);
+    } else {
+        push!(ComponentKind::MmaGrid, 0.0, 0.0);
+        push!(ComponentKind::MmaAccumulators, 0.0, 0.0);
+    }
+    push!(
+        ComponentKind::LsuAgen,
+        f64::from(cfg.load_ports + cfg.store_ports) * 1_800.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::LoadQueue,
+        f64::from(cfg.load_queue) * 55.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::StoreQueue,
+        f64::from(cfg.store_queue) * 85.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::LoadMissQueue,
+        f64::from(cfg.load_miss_queue) * 120.0,
+        0.0,
+    );
+    push!(ComponentKind::L1DArray, 1_200.0, kb(cfg.l1d.size_bytes));
+    push!(ComponentKind::Erat, f64::from(cfg.erat_entries) * 65.0, 0.0,);
+    push!(
+        ComponentKind::Tlb,
+        800.0,
+        f64::from(cfg.tlb_entries) * 8.0 / 1024.0,
+    );
+    push!(
+        ComponentKind::PrefetchEngine,
+        f64::from(cfg.prefetch_streams) * 180.0,
+        0.0,
+    );
+    push!(
+        ComponentKind::StoreDrain,
+        if cfg.store_merge { 1_200.0 } else { 600.0 },
+        0.0,
+    );
+    push!(
+        ComponentKind::Completion,
+        f64::from(cfg.completion_width) * 700.0,
+        0.0,
+    );
+    push!(ComponentKind::SprUnit, 1_200.0, 0.0);
+
+    // Pervasive clock distribution: proportional to everything built so
+    // far (core side only; power-gated units bring their own gated clock
+    // headers and do not load the always-on spine).
+    let core_latches: f64 = v
+        .iter()
+        .filter(|c| !c.kind.is_power_gated())
+        .map(|c| c.latches)
+        .sum();
+    push!(ComponentKind::PervasiveClock, core_latches * 0.06, 0.0);
+
+    push!(ComponentKind::L2Array, 2_000.0, kb(cfg.l2.size_bytes));
+    push!(ComponentKind::L2Control, 3_500.0, 0.0);
+    push!(ComponentKind::L3Array, 2_500.0, kb(cfg.l3.size_bytes));
+    push!(ComponentKind::L3Control, 4_000.0, 0.0);
+
+    debug_assert_eq!(v.len(), 39);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_39_components_for_both_generations() {
+        assert_eq!(build_components(&CoreConfig::power9()).len(), 39);
+        assert_eq!(build_components(&CoreConfig::power10()).len(), 39);
+        assert_eq!(ComponentKind::ALL.len(), 39);
+    }
+
+    #[test]
+    fn every_kind_appears_exactly_once() {
+        let specs = build_components(&CoreConfig::power10());
+        for kind in ComponentKind::ALL {
+            assert_eq!(
+                specs.iter().filter(|s| s.kind == kind).count(),
+                1,
+                "{kind:?} must appear once"
+            );
+        }
+    }
+
+    #[test]
+    fn reservation_station_removal_shrinks_issue_latches() {
+        let find = |cfg: &CoreConfig, kind| {
+            build_components(cfg)
+                .into_iter()
+                .find(|s| s.kind == kind)
+                .unwrap()
+        };
+        let p9 = find(&CoreConfig::power9(), ComponentKind::IssueQueue);
+        let p10 = find(&CoreConfig::power10(), ComponentKind::IssueQueue);
+        // POWER10 has twice the entries yet fewer issue latches.
+        assert!(p10.latches < p9.latches);
+        // And its register files become arrays instead of latch stacks.
+        let rf9 = find(&CoreConfig::power9(), ComponentKind::RegfileVsr);
+        let rf10 = find(&CoreConfig::power10(), ComponentKind::RegfileVsr);
+        assert!(rf10.latches < rf9.latches / 5.0);
+        assert!(rf10.array_kb > 0.0 && rf9.array_kb == 0.0);
+    }
+
+    #[test]
+    fn p10_has_more_total_latches_than_p9() {
+        // The paper: higher runtime derating "in spite of a higher latch
+        // count" — POWER10 is the bigger core.
+        let total = |cfg: &CoreConfig| -> f64 {
+            build_components(cfg)
+                .iter()
+                .filter(|s| !s.kind.is_nest())
+                .map(|s| s.latches)
+                .sum()
+        };
+        assert!(total(&CoreConfig::power10()) > total(&CoreConfig::power9()));
+    }
+
+    #[test]
+    fn nest_and_gating_classification() {
+        assert!(ComponentKind::L2Array.is_nest());
+        assert!(ComponentKind::L3Control.is_nest());
+        assert!(!ComponentKind::Decode.is_nest());
+        assert!(ComponentKind::MmaGrid.is_power_gated());
+        assert!(!ComponentKind::VsxPipes.is_power_gated());
+    }
+
+    #[test]
+    fn l2_capacity_flows_into_array_kb() {
+        let specs = build_components(&CoreConfig::power10());
+        let l2 = specs
+            .iter()
+            .find(|s| s.kind == ComponentKind::L2Array)
+            .unwrap();
+        assert!((l2.array_kb - 1024.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,232 @@
+//! Power reports: per-component breakdown and aggregate views.
+
+use crate::components::ComponentKind;
+use serde::{Deserialize, Serialize};
+
+/// Per-cycle power of one component, split by mechanism (the Einspower
+/// decomposition named in the paper: latch-clock, data switching, ghost
+/// switching, array, register file — plus leakage).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPower {
+    /// Which component.
+    pub kind: ComponentKind,
+    /// Latch-clock power.
+    pub clock: f64,
+    /// Logic data-switching power.
+    pub data: f64,
+    /// Ghost-switching power (input toggling with no corresponding write).
+    pub ghost: f64,
+    /// Array access power.
+    pub array: f64,
+    /// Register-file port power.
+    pub regfile: f64,
+    /// Leakage power.
+    pub leakage: f64,
+}
+
+impl ComponentPower {
+    /// Total power of this component.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.clock + self.data + self.ghost + self.array + self.regfile + self.leakage
+    }
+
+    /// Dynamic (non-leakage) power of this component.
+    #[must_use]
+    pub fn dynamic(&self) -> f64 {
+        self.total() - self.leakage
+    }
+}
+
+/// A full power evaluation for one activity window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Per-component power (39 entries).
+    pub components: Vec<ComponentPower>,
+    /// Cycles in the evaluated window.
+    pub cycles: u64,
+    /// Power of the same hardware at zero activity (idle clock enables +
+    /// leakage) — the "static" part the paper excludes from *active power*.
+    pub idle_total: f64,
+}
+
+impl PowerReport {
+    /// Total power (core + nest).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.components.iter().map(ComponentPower::total).sum()
+    }
+
+    /// Core power: everything except the L2/L3 nest components. This is
+    /// the "core power" quantity in Figs. 5 and 10.
+    #[must_use]
+    pub fn core_total(&self) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| !c.kind.is_nest())
+            .map(ComponentPower::total)
+            .sum()
+    }
+
+    /// Nest (L2+L3) power.
+    #[must_use]
+    pub fn nest_total(&self) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.kind.is_nest())
+            .map(ComponentPower::total)
+            .sum()
+    }
+
+    /// Total leakage power.
+    #[must_use]
+    pub fn leakage(&self) -> f64 {
+        self.components.iter().map(|c| c.leakage).sum()
+    }
+
+    /// Active power: the workload-dependent part, excluding leakage and
+    /// active-idle power (the paper's definition in §III-D).
+    #[must_use]
+    pub fn active(&self) -> f64 {
+        (self.total() - self.idle_total).max(0.0)
+    }
+
+    /// Power of one component by kind, zero if absent.
+    #[must_use]
+    pub fn component(&self, kind: ComponentKind) -> f64 {
+        self.components
+            .iter()
+            .find(|c| c.kind == kind)
+            .map_or(0.0, ComponentPower::total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(kind: ComponentKind, v: f64) -> ComponentPower {
+        ComponentPower {
+            kind,
+            clock: v,
+            data: v,
+            ghost: 0.0,
+            array: 0.0,
+            regfile: 0.0,
+            leakage: v / 2.0,
+        }
+    }
+
+    #[test]
+    fn totals_partition_into_core_and_nest() {
+        let r = PowerReport {
+            components: vec![
+                cp(ComponentKind::Decode, 2.0),
+                cp(ComponentKind::L2Array, 1.0),
+            ],
+            cycles: 100,
+            idle_total: 1.0,
+        };
+        assert!((r.total() - (r.core_total() + r.nest_total())).abs() < 1e-12);
+        assert!(r.core_total() > r.nest_total());
+        assert!((r.leakage() - 1.5).abs() < 1e-12);
+        assert!((r.active() - (r.total() - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn component_lookup() {
+        let r = PowerReport {
+            components: vec![cp(ComponentKind::Decode, 2.0)],
+            cycles: 1,
+            idle_total: 0.0,
+        };
+        assert!(r.component(ComponentKind::Decode) > 0.0);
+        assert_eq!(r.component(ComponentKind::MmaGrid), 0.0);
+    }
+
+    #[test]
+    fn active_never_negative() {
+        let r = PowerReport {
+            components: vec![],
+            cycles: 1,
+            idle_total: 5.0,
+        };
+        assert_eq!(r.active(), 0.0);
+    }
+}
+
+impl std::fmt::Display for PowerReport {
+    /// Renders the per-component breakdown as a fixed-width table
+    /// (components sorted by total power, largest first), followed by
+    /// the aggregate rows — the format used for quick power triage.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<20} {:>8} {:>8} {:>7} {:>7} {:>8} {:>8} {:>9}",
+            "component", "clock", "data", "ghost", "array", "regfile", "leakage", "total"
+        )?;
+        let mut rows: Vec<&ComponentPower> = self.components.iter().collect();
+        rows.sort_by(|a, b| b.total().partial_cmp(&a.total()).expect("finite"));
+        for c in rows {
+            if c.total() < 1e-9 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<20} {:>8.2} {:>8.2} {:>7.2} {:>7.2} {:>8.2} {:>8.2} {:>9.2}",
+                format!("{:?}", c.kind),
+                c.clock,
+                c.data,
+                c.ghost,
+                c.array,
+                c.regfile,
+                c.leakage,
+                c.total()
+            )?;
+        }
+        writeln!(
+            f,
+            "core {:.2} | nest {:.2} | leakage {:.2} | active {:.2} | total {:.2}",
+            self.core_total(),
+            self.nest_total(),
+            self.leakage(),
+            self.active(),
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod display_tests {
+    use super::*;
+    use crate::components::ComponentKind;
+
+    #[test]
+    fn display_is_nonempty_and_sorted() {
+        let mk = |kind, v: f64| ComponentPower {
+            kind,
+            clock: v,
+            data: 0.0,
+            ghost: 0.0,
+            array: 0.0,
+            regfile: 0.0,
+            leakage: 0.0,
+        };
+        let r = PowerReport {
+            components: vec![
+                mk(ComponentKind::Decode, 1.0),
+                mk(ComponentKind::VsxPipes, 5.0),
+                mk(ComponentKind::MmaGrid, 0.0), // hidden (zero)
+            ],
+            cycles: 10,
+            idle_total: 0.5,
+        };
+        let text = r.to_string();
+        assert!(!text.is_empty());
+        let vsx = text.find("VsxPipes").expect("largest shown");
+        let dec = text.find("Decode").expect("smaller shown");
+        assert!(vsx < dec, "sorted largest-first");
+        assert!(!text.contains("MmaGrid"), "zero rows hidden");
+        assert!(text.contains("total"));
+    }
+}

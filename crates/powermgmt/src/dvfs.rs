@@ -1,0 +1,101 @@
+//! Voltage/frequency operating points and power scaling.
+
+use serde::{Deserialize, Serialize};
+
+/// A linear voltage-frequency curve: `v(f) = v0 + slope × (f − f0)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VfCurve {
+    /// Nominal frequency (GHz).
+    pub f0: f64,
+    /// Voltage at nominal frequency.
+    pub v0: f64,
+    /// Volts per GHz above/below nominal.
+    pub slope: f64,
+}
+
+impl VfCurve {
+    /// A representative server-class curve (nominal 4.0 GHz at 0.95 V).
+    #[must_use]
+    pub fn nominal() -> Self {
+        VfCurve {
+            f0: 4.0,
+            v0: 0.95,
+            slope: 0.08,
+        }
+    }
+
+    /// Voltage required for frequency `f`.
+    #[must_use]
+    pub fn voltage(&self, f: f64) -> f64 {
+        self.v0 + self.slope * (f - self.f0)
+    }
+}
+
+/// One operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Frequency in GHz.
+    pub freq: f64,
+    /// Supply voltage.
+    pub voltage: f64,
+}
+
+impl OperatingPoint {
+    /// The point on a VF curve at frequency `f`.
+    #[must_use]
+    pub fn at(curve: &VfCurve, f: f64) -> Self {
+        OperatingPoint {
+            freq: f,
+            voltage: curve.voltage(f),
+        }
+    }
+}
+
+/// Scales dynamic power measured at the curve's nominal point to another
+/// operating point: `P ∝ V² × f`.
+#[must_use]
+pub fn scale_dynamic(p_nominal: f64, curve: &VfCurve, point: OperatingPoint) -> f64 {
+    let vr = point.voltage / curve.v0;
+    p_nominal * vr * vr * (point.freq / curve.f0)
+}
+
+/// Scales leakage power to another operating point: `P ∝ V²` (a common
+/// first-order model at fixed temperature).
+#[must_use]
+pub fn scale_leakage(p_nominal: f64, curve: &VfCurve, point: OperatingPoint) -> f64 {
+    let vr = point.voltage / curve.v0;
+    p_nominal * vr * vr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_tracks_frequency() {
+        let c = VfCurve::nominal();
+        assert!((c.voltage(4.0) - 0.95).abs() < 1e-12);
+        assert!(c.voltage(4.5) > c.voltage(4.0));
+        assert!(c.voltage(3.0) < c.voltage(4.0));
+    }
+
+    #[test]
+    fn dynamic_power_scaling_is_supralinear_in_frequency() {
+        let c = VfCurve::nominal();
+        let hi = scale_dynamic(100.0, &c, OperatingPoint::at(&c, 4.4));
+        let nom = scale_dynamic(100.0, &c, OperatingPoint::at(&c, 4.0));
+        assert!((nom - 100.0).abs() < 1e-9);
+        // +10% frequency costs more than +10% power (voltage rises too).
+        assert!(hi > 110.0);
+    }
+
+    #[test]
+    fn leakage_scaling_is_frequency_independent() {
+        let c = VfCurve::nominal();
+        let p = OperatingPoint {
+            freq: 5.0,
+            voltage: 0.95,
+        };
+        assert!((scale_leakage(50.0, &c, p) - 50.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,228 @@
+//! The MMA power-gating controller (paper §IV-A).
+//!
+//! The MMA can be dynamically powered off to save leakage (reclaimed by
+//! WOF for frequency). The architecture avoids expensive state
+//! save/restore (no array initialization or scan-ring restoration), and
+//! provides *wake-up hint* instructions so software can hide the power-on
+//! latency; firmware selects how long the unit must be idle before
+//! gating.
+
+use serde::{Deserialize, Serialize};
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GatingConfig {
+    /// Idle cycles before the unit is powered off (firmware-selected).
+    pub idle_threshold: u64,
+    /// Cycles to power the unit back on.
+    pub wake_latency: u64,
+    /// Leakage power of the unit while on (saved while gated).
+    pub unit_leakage: f64,
+}
+
+impl Default for GatingConfig {
+    fn default() -> Self {
+        GatingConfig {
+            idle_threshold: 2_000,
+            wake_latency: 64,
+            unit_leakage: 5.0,
+        }
+    }
+}
+
+/// Events the controller observes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MmaEvent {
+    /// An MMA compute/move instruction wants to execute at this cycle.
+    Use(u64),
+    /// A wake-up hint executed at this cycle.
+    Hint(u64),
+}
+
+/// Result of replaying an event sequence through the controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GatingOutcome {
+    /// Cycles the unit spent powered off.
+    pub gated_cycles: u64,
+    /// Leakage-cycles saved (gated_cycles × unit leakage).
+    pub leakage_saved: f64,
+    /// Total stall cycles MMA uses spent waiting for power-on.
+    pub wake_stall_cycles: u64,
+    /// Number of power-off events.
+    pub gate_events: u64,
+}
+
+/// Replays a sorted event sequence over `total_cycles` and reports the
+/// savings/penalty balance.
+///
+/// # Panics
+///
+/// Panics if events are not sorted by cycle.
+#[must_use]
+pub fn simulate(cfg: &GatingConfig, events: &[MmaEvent], total_cycles: u64) -> GatingOutcome {
+    let mut last_cycle = 0u64;
+    // Unit starts powered off (nothing used it yet).
+    let mut powered_until: Option<u64> = None; // Some(ready_at) while on/warming
+    let mut last_use: Option<u64> = None;
+    let mut gated_cycles = 0u64;
+    let mut wake_stall = 0u64;
+    let mut gate_events = 0u64;
+    let mut on_since: Option<u64> = None;
+    let mut ever_powered = false;
+
+    let power_on = |at: u64,
+                    powered_until: &mut Option<u64>,
+                    on_since: &mut Option<u64>,
+                    gated_cycles: &mut u64,
+                    ever_powered: &mut bool| {
+        if powered_until.is_none() {
+            *powered_until = Some(at + cfg.wake_latency);
+            *on_since = Some(at);
+            if !*ever_powered {
+                // The unit was gated from reset until now.
+                *gated_cycles += at;
+                *ever_powered = true;
+            }
+        }
+    };
+
+    for ev in events {
+        let cycle = match *ev {
+            MmaEvent::Use(c) | MmaEvent::Hint(c) => c,
+        };
+        assert!(cycle >= last_cycle, "events must be sorted");
+        // Idle-gate check: if the unit has been on and idle long enough,
+        // it powered off at last_use + threshold.
+        if let (Some(ready), Some(used)) = (powered_until.as_ref().copied(), last_use) {
+            let gate_at = used.max(ready) + cfg.idle_threshold;
+            if cycle > gate_at {
+                // It turned off in the interim.
+                powered_until = None;
+                on_since = None;
+                gate_events += 1;
+                gated_cycles += cycle - gate_at;
+            }
+        }
+        match *ev {
+            MmaEvent::Hint(c) => {
+                power_on(
+                    c,
+                    &mut powered_until,
+                    &mut on_since,
+                    &mut gated_cycles,
+                    &mut ever_powered,
+                );
+            }
+            MmaEvent::Use(c) => {
+                if powered_until.is_none() {
+                    power_on(
+                        c,
+                        &mut powered_until,
+                        &mut on_since,
+                        &mut gated_cycles,
+                        &mut ever_powered,
+                    );
+                }
+                let ready = powered_until.expect("just powered on");
+                if c < ready {
+                    wake_stall += ready - c;
+                }
+                last_use = Some(c.max(ready));
+            }
+        }
+        last_cycle = cycle;
+    }
+    // Tail: unit gates after the last use (+threshold) if still on.
+    if let Some(used) = last_use {
+        let gate_at = used + cfg.idle_threshold;
+        if total_cycles > gate_at {
+            gated_cycles += total_cycles - gate_at;
+            gate_events += 1;
+        }
+    } else if on_since.is_none() {
+        // Never used at all: gated the whole time.
+        gated_cycles += total_cycles;
+    }
+
+    GatingOutcome {
+        gated_cycles,
+        leakage_saved: gated_cycles as f64 * cfg.unit_leakage,
+        wake_stall_cycles: wake_stall,
+        gate_events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unused_unit_is_gated_the_whole_run() {
+        let cfg = GatingConfig::default();
+        let o = simulate(&cfg, &[], 100_000);
+        assert_eq!(o.gated_cycles, 100_000);
+        assert_eq!(o.wake_stall_cycles, 0);
+        assert!((o.leakage_saved - 500_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_use_pays_wake_latency() {
+        let cfg = GatingConfig::default();
+        let o = simulate(&cfg, &[MmaEvent::Use(10_000)], 50_000);
+        assert_eq!(o.wake_stall_cycles, cfg.wake_latency);
+        // Gated before the use and after use+threshold.
+        assert!(o.gated_cycles > 40_000);
+    }
+
+    #[test]
+    fn hint_hides_wake_latency() {
+        let cfg = GatingConfig::default();
+        let hinted = simulate(
+            &cfg,
+            &[MmaEvent::Hint(9_900), MmaEvent::Use(10_000)],
+            50_000,
+        );
+        assert_eq!(
+            hinted.wake_stall_cycles, 0,
+            "a hint {} cycles early must hide the {}-cycle wake",
+            100, cfg.wake_latency
+        );
+    }
+
+    #[test]
+    fn back_to_back_uses_keep_the_unit_on() {
+        let cfg = GatingConfig::default();
+        let events: Vec<MmaEvent> = (0..50).map(|i| MmaEvent::Use(10_000 + i * 100)).collect();
+        let o = simulate(&cfg, &events, 100_000);
+        assert_eq!(
+            o.wake_stall_cycles, cfg.wake_latency,
+            "only the first use stalls"
+        );
+        assert_eq!(o.gate_events, 1, "one gate-off at the end");
+    }
+
+    #[test]
+    fn longer_idle_threshold_trades_leakage_for_stalls() {
+        let quick = GatingConfig {
+            idle_threshold: 500,
+            ..GatingConfig::default()
+        };
+        let lazy = GatingConfig {
+            idle_threshold: 50_000,
+            ..GatingConfig::default()
+        };
+        // Two bursts separated by a long gap.
+        let mut events: Vec<MmaEvent> = (0..10).map(|i| MmaEvent::Use(1_000 + i * 10)).collect();
+        events.extend((0..10).map(|i| MmaEvent::Use(80_000 + i * 10)));
+        let q = simulate(&quick, &events, 120_000);
+        let l = simulate(&lazy, &events, 120_000);
+        assert!(
+            q.leakage_saved > l.leakage_saved,
+            "quick gating saves more leakage"
+        );
+        assert!(
+            q.wake_stall_cycles >= l.wake_stall_cycles,
+            "but may stall more on re-wake"
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! The firmware governor: the closed loop that ties WOF, the power
+//! proxy, and instruction throttling together (the paper's OCC-style
+//! §IV stack in one controller).
+//!
+//! Each control interval the governor:
+//! 1. reads the power-proxy estimate for the last interval,
+//! 2. updates its effective-capacitance estimate for the running
+//!    workload (exponential smoothing — "faster learning" with a better
+//!    proxy),
+//! 3. re-solves the WOF frequency for that estimate,
+//! 4. if the socket is already at Fmin and still over budget, engages
+//!    the fine-grained instruction throttle instead.
+
+use crate::dvfs::{scale_dynamic, scale_leakage, OperatingPoint};
+use crate::throttle::FineThrottle;
+use crate::wof::{solve, WofConfig};
+use serde::{Deserialize, Serialize};
+
+/// Governor configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GovernorConfig {
+    /// The WOF solver parameters (budget, VF curve, F range).
+    pub wof: WofConfig,
+    /// Smoothing factor for the Ceff estimate (0..1, higher = faster).
+    pub ceff_alpha: f64,
+    /// Throttle integral gain.
+    pub throttle_gain: f64,
+    /// Multiplicative proxy bias (1.0 = perfect proxy).
+    pub proxy_bias: f64,
+}
+
+impl GovernorConfig {
+    /// A typical configuration with a perfect proxy.
+    #[must_use]
+    pub fn typical() -> Self {
+        GovernorConfig {
+            wof: WofConfig::typical(),
+            ceff_alpha: 0.35,
+            throttle_gain: 0.3,
+            proxy_bias: 1.0,
+        }
+    }
+}
+
+/// One interval of the governor trace.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct GovernorSample {
+    /// Chosen operating point.
+    pub point: OperatingPoint,
+    /// Throttle level in effect.
+    pub throttle: f64,
+    /// Actual total power this interval.
+    pub power: f64,
+    /// The governor's Ceff estimate.
+    pub ceff_estimate: f64,
+}
+
+/// Runs the governor over a per-interval workload-intensity series
+/// (`true Ceff` of whatever is running). Returns the control trace.
+#[must_use]
+pub fn run_governor(cfg: &GovernorConfig, ceff_series: &[f64]) -> Vec<GovernorSample> {
+    let mut est = 1.0f64;
+    let mut throttle = FineThrottle::new(cfg.wof.power_budget, cfg.throttle_gain);
+    let mut out = Vec::with_capacity(ceff_series.len());
+    for &true_ceff in ceff_series {
+        // Decide the operating point from the current estimate.
+        let decision = solve(&cfg.wof, est, 0.0);
+        let at_fmin = (decision.point.freq - cfg.wof.fmin).abs() < 1e-6;
+
+        // Actual power at that point for the *true* workload, reduced by
+        // any throttling in effect.
+        let dyn_p = scale_dynamic(
+            cfg.wof.ref_dynamic_power * true_ceff,
+            &cfg.wof.vf,
+            decision.point,
+        ) * (1.0 - throttle.level());
+        let leak = scale_leakage(cfg.wof.leakage_power, &cfg.wof.vf, decision.point);
+        let power = dyn_p + leak;
+
+        // Proxy observation drives both loops.
+        let observed = power * cfg.proxy_bias;
+        if at_fmin {
+            throttle.update(observed);
+        } else if throttle.level() > 0.0 {
+            // Frequency headroom exists again: release the throttle.
+            throttle.update(0.0);
+        }
+        // Back out the Ceff the observation implies at this point, then
+        // smooth.
+        let implied = (observed - leak).max(0.0)
+            / scale_dynamic(cfg.wof.ref_dynamic_power, &cfg.wof.vf, decision.point)
+            / (1.0 - throttle.level()).max(0.05);
+        if observed > cfg.wof.power_budget * 1.05 {
+            // Asymmetric learning: react to overshoot immediately (the
+            // budget is a hard limit); relax slowly on the way down.
+            est = est.max(implied);
+        } else {
+            est = (1.0 - cfg.ceff_alpha) * est + cfg.ceff_alpha * implied;
+        }
+
+        out.push(GovernorSample {
+            point: decision.point,
+            throttle: throttle.level(),
+            power,
+            ceff_estimate: est,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn governor_boosts_light_phases_and_stays_in_budget() {
+        let cfg = GovernorConfig::typical();
+        // Light phase, then heavy phase, then light again.
+        let mut series = vec![0.6; 60];
+        series.extend(vec![1.3; 60]);
+        series.extend(vec![0.6; 60]);
+        let trace = run_governor(&cfg, &series);
+
+        // Steady-state light phase: boosted above nominal.
+        let light = &trace[40..60];
+        assert!(light.iter().all(|s| s.point.freq > cfg.wof.vf.f0 * 1.02));
+        // Steady-state heavy phase: frequency pulled down.
+        let heavy = &trace[100..120];
+        assert!(heavy.iter().all(|s| s.point.freq < cfg.wof.vf.f0));
+        // The phase switch produces one transient overshoot interval (the
+        // decision predates the observation; sub-interval protection is
+        // the droop sensor's job) — the governor must recover within a
+        // few intervals and hold the budget in steady state.
+        let over_intervals = trace
+            .iter()
+            .filter(|s| s.power > cfg.wof.power_budget * 1.10)
+            .count();
+        assert!(
+            over_intervals <= 3,
+            "overshoot must be transient, got {over_intervals} intervals"
+        );
+        let steady_heavy: f64 = heavy.iter().map(|s| s.power).sum::<f64>() / heavy.len() as f64;
+        assert!(steady_heavy <= cfg.wof.power_budget * 1.02);
+    }
+
+    #[test]
+    fn throttle_engages_only_at_fmin() {
+        let cfg = GovernorConfig::typical();
+        // A power virus far beyond what Fmin can absorb.
+        let trace = run_governor(&cfg, &vec![3.0; 120]);
+        let tail = &trace[80..];
+        assert!(
+            tail.iter()
+                .all(|s| (s.point.freq - cfg.wof.fmin).abs() < 1e-6),
+            "virus must pin the socket at Fmin"
+        );
+        assert!(
+            tail.iter().all(|s| s.throttle > 0.1),
+            "and the instruction throttle must engage"
+        );
+        let steady: f64 = tail.iter().map(|s| s.power).sum::<f64>() / tail.len() as f64;
+        assert!(steady <= cfg.wof.power_budget * 1.05);
+    }
+
+    #[test]
+    fn deterministic_boost_property() {
+        // Same workload, same configuration => identical decisions (the
+        // paper stresses WOF determinism as a customer requirement).
+        let cfg = GovernorConfig::typical();
+        let series = vec![0.8; 50];
+        let a = run_governor(&cfg, &series);
+        let b = run_governor(&cfg, &series);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.point, y.point);
+            assert!((x.throttle - y.throttle).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn better_proxy_tracks_phases_faster() {
+        let cfg_good = GovernorConfig::typical();
+        let mut cfg_biased = GovernorConfig::typical();
+        cfg_biased.proxy_bias = 0.7; // under-reading proxy
+        let mut series = vec![0.6; 40];
+        series.extend(vec![1.4; 80]);
+        let good = run_governor(&cfg_good, &series);
+        let biased = run_governor(&cfg_biased, &series);
+        // The biased governor thinks the workload is lighter and
+        // over-boosts during the heavy phase -> more power overshoot.
+        let over = |t: &[GovernorSample]| {
+            t[40..]
+                .iter()
+                .map(|s| (s.power - cfg_good.wof.power_budget).max(0.0))
+                .sum::<f64>()
+        };
+        assert!(
+            over(&biased) > over(&good),
+            "biased proxy must overshoot more: {} vs {}",
+            over(&biased),
+            over(&good)
+        );
+    }
+}

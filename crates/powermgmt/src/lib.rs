@@ -1,0 +1,26 @@
+//! # p10-powermgmt
+//!
+//! The core power-management stack of paper §IV:
+//!
+//! * [`dvfs`] — voltage/frequency operating points and power scaling.
+//! * [`wof`] — Workload Optimized Frequency: the deterministic frequency
+//!   boost solved from a workload's effective-capacitance ratio against
+//!   the socket power envelope, including the leakage reclaimed by
+//!   power-gating an idle MMA.
+//! * [`pfly`] — Power-Frequency Limited Yield and Core Limited Yield
+//!   analysis over a synthetic process-variation population.
+//! * [`throttle`] — fine-grained instruction throttling with power-proxy
+//!   feedback (fixed-frequency / at-Fmin operation), plus the
+//!   coarse-grained droop response driven by the Digital Droop Sensor.
+//! * [`gating`] — the MMA power-gating controller with architected
+//!   wake-up hints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dvfs;
+pub mod gating;
+pub mod governor;
+pub mod pfly;
+pub mod throttle;
+pub mod wof;

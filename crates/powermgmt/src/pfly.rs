@@ -1,0 +1,229 @@
+//! Power-Frequency Limited Yield (PFLY) and Core Limited Yield (CLY).
+//!
+//! The paper feeds APEX-based absolute power projections into PFLY/CLY
+//! analysis to pick product offering points (frequency sorts and core
+//! counts). Here a deterministic synthetic process population provides
+//! per-chip frequency capability and leakage spread, and yields are
+//! evaluated against candidate offerings.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One manufactured chip in the population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Chip {
+    /// Per-core maximum frequency capability (GHz).
+    pub core_fmax: Vec<f64>,
+    /// Per-core leakage multiplier (1.0 = typical).
+    pub core_leak: Vec<f64>,
+    /// Cores that are functional at all.
+    pub functional: Vec<bool>,
+}
+
+/// Process-variation population parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ProcessParams {
+    /// Cores fabricated per chip.
+    pub cores_per_chip: usize,
+    /// Mean core fmax (GHz).
+    pub fmax_mean: f64,
+    /// Fmax spread (uniform half-width, GHz).
+    pub fmax_spread: f64,
+    /// Leakage spread (uniform half-width around 1.0).
+    pub leak_spread: f64,
+    /// Probability a core is non-functional (defects).
+    pub defect_rate: f64,
+}
+
+impl Default for ProcessParams {
+    fn default() -> Self {
+        ProcessParams {
+            cores_per_chip: 16,
+            fmax_mean: 4.2,
+            fmax_spread: 0.5,
+            leak_spread: 0.35,
+            defect_rate: 0.04,
+        }
+    }
+}
+
+/// Generates a deterministic chip population.
+#[must_use]
+pub fn population(params: &ProcessParams, chips: usize, seed: u64) -> Vec<Chip> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..chips)
+        .map(|_| {
+            // Chip-level mean (die-to-die) plus core-level (within-die)
+            // variation; fast silicon leaks more (classic correlation).
+            let chip_speed: f64 = rng.gen_range(-1.0..1.0);
+            let mut core_fmax = Vec::with_capacity(params.cores_per_chip);
+            let mut core_leak = Vec::with_capacity(params.cores_per_chip);
+            let mut functional = Vec::with_capacity(params.cores_per_chip);
+            for _ in 0..params.cores_per_chip {
+                let within: f64 = rng.gen_range(-0.5..0.5);
+                let f = params.fmax_mean + params.fmax_spread * (0.7 * chip_speed + within);
+                let leak =
+                    1.0 + params.leak_spread * (0.6 * chip_speed + rng.gen_range(-0.4..0.4f64));
+                core_fmax.push(f);
+                core_leak.push(leak.max(0.3));
+                functional.push(rng.gen::<f64>() >= params.defect_rate);
+            }
+            Chip {
+                core_fmax,
+                core_leak,
+                functional,
+            }
+        })
+        .collect()
+}
+
+/// A product offering point.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Offering {
+    /// Shipping frequency (GHz) every enabled core must sustain.
+    pub freq: f64,
+    /// Cores that must be enabled.
+    pub enabled_cores: usize,
+    /// Per-chip power limit at the shipping point.
+    pub power_limit: f64,
+    /// Per-core dynamic power at the shipping frequency (typical).
+    pub core_dynamic_power: f64,
+    /// Per-core leakage power (typical multiplier = 1.0).
+    pub core_leakage_power: f64,
+}
+
+/// Yield results for one offering.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct YieldResult {
+    /// Fraction of chips with enough functional cores (CLY).
+    pub core_limited_yield: f64,
+    /// Fraction of chips also meeting frequency and power (PFLY).
+    pub power_freq_limited_yield: f64,
+}
+
+/// Evaluates an offering against a population.
+///
+/// A chip ships if it has `enabled_cores` functional cores that each
+/// sustain `freq`, and the total power of the best such core subset fits
+/// the power limit.
+#[must_use]
+pub fn evaluate(offering: &Offering, chips: &[Chip]) -> YieldResult {
+    let mut cly = 0usize;
+    let mut pfly = 0usize;
+    for chip in chips {
+        let functional: usize = chip.functional.iter().filter(|&&f| f).count();
+        if functional >= offering.enabled_cores {
+            cly += 1;
+        } else {
+            continue;
+        }
+        // Candidate cores meeting frequency, sorted by leakage (prefer
+        // the coolest cores).
+        let mut candidates: Vec<f64> = chip
+            .core_fmax
+            .iter()
+            .zip(chip.core_leak.iter())
+            .zip(chip.functional.iter())
+            .filter(|((f, _), &ok)| ok && **f >= offering.freq)
+            .map(|((_, leak), _)| *leak)
+            .collect();
+        if candidates.len() < offering.enabled_cores {
+            continue;
+        }
+        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let power: f64 = candidates[..offering.enabled_cores]
+            .iter()
+            .map(|leak| offering.core_dynamic_power + offering.core_leakage_power * leak)
+            .sum();
+        if power <= offering.power_limit {
+            pfly += 1;
+        }
+    }
+    let n = chips.len().max(1) as f64;
+    YieldResult {
+        core_limited_yield: cly as f64 / n,
+        power_freq_limited_yield: pfly as f64 / n,
+    }
+}
+
+/// Sweeps shipping frequency, producing the PFLY curve used for offering
+/// selection.
+#[must_use]
+pub fn frequency_sweep(base: &Offering, chips: &[Chip], freqs: &[f64]) -> Vec<(f64, YieldResult)> {
+    freqs
+        .iter()
+        .map(|&f| {
+            let mut o = *base;
+            o.freq = f;
+            (f, evaluate(&o, chips))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_offering() -> Offering {
+        Offering {
+            freq: 4.0,
+            enabled_cores: 12,
+            power_limit: 12.0 * 14.0,
+            core_dynamic_power: 10.0,
+            core_leakage_power: 3.0,
+        }
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let p = ProcessParams::default();
+        let a = population(&p, 50, 9);
+        let b = population(&p, 50, 9);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[7].core_fmax, b[7].core_fmax);
+    }
+
+    #[test]
+    fn pfly_never_exceeds_cly() {
+        let chips = population(&ProcessParams::default(), 500, 1);
+        let y = evaluate(&base_offering(), &chips);
+        assert!(y.power_freq_limited_yield <= y.core_limited_yield);
+        assert!(y.core_limited_yield > 0.5);
+    }
+
+    #[test]
+    fn higher_frequency_lowers_yield() {
+        let chips = population(&ProcessParams::default(), 500, 2);
+        let sweep = frequency_sweep(&base_offering(), &chips, &[3.6, 4.0, 4.4, 4.8]);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[0].1.power_freq_limited_yield >= pair[1].1.power_freq_limited_yield,
+                "yield must not rise with frequency"
+            );
+        }
+        assert!(sweep[0].1.power_freq_limited_yield > sweep[3].1.power_freq_limited_yield);
+    }
+
+    #[test]
+    fn fewer_enabled_cores_raises_yield() {
+        let chips = population(&ProcessParams::default(), 500, 3);
+        let mut o = base_offering();
+        let strict = evaluate(&o, &chips);
+        o.enabled_cores = 8;
+        o.power_limit = 8.0 * 14.0;
+        let relaxed = evaluate(&o, &chips);
+        assert!(relaxed.core_limited_yield >= strict.core_limited_yield);
+    }
+
+    #[test]
+    fn tight_power_limit_cuts_pfly() {
+        let chips = population(&ProcessParams::default(), 500, 4);
+        let mut o = base_offering();
+        let loose = evaluate(&o, &chips);
+        o.power_limit *= 0.9;
+        let tight = evaluate(&o, &chips);
+        assert!(tight.power_freq_limited_yield < loose.power_freq_limited_yield);
+        assert_eq!(tight.core_limited_yield, loose.core_limited_yield);
+    }
+}

@@ -1,0 +1,182 @@
+//! Workload Optimized Frequency.
+//!
+//! The socket runs each workload at the highest frequency that keeps it
+//! just under the power/thermal envelope (paper §IV-A). The inputs are
+//! exactly what the paper describes: the workload's *effective
+//! capacitance ratio* relative to the system design-point workload
+//! (extracted via APEX + Einspower in the paper; via the activity/power
+//! models here), and any leakage reclaimed by power-gating idle units
+//! (the MMA). IBM's WOF is deterministic: same sort, same configuration,
+//! same workload → same frequency.
+
+use crate::dvfs::{scale_dynamic, scale_leakage, OperatingPoint, VfCurve};
+use serde::{Deserialize, Serialize};
+
+/// WOF solver configuration (the "sort" / offering parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WofConfig {
+    /// Socket power budget (same relative units as the power model).
+    pub power_budget: f64,
+    /// Dynamic power of the *design-point* (TDP reference) workload at
+    /// nominal frequency.
+    pub ref_dynamic_power: f64,
+    /// Leakage power at nominal voltage.
+    pub leakage_power: f64,
+    /// Voltage/frequency curve.
+    pub vf: VfCurve,
+    /// Minimum deliverable frequency (GHz).
+    pub fmin: f64,
+    /// Maximum boost frequency (GHz).
+    pub fmax: f64,
+}
+
+impl WofConfig {
+    /// A representative configuration whose design-point workload
+    /// (`ceff = 1.0`) lands exactly at nominal frequency.
+    #[must_use]
+    pub fn typical() -> Self {
+        let vf = VfCurve::nominal();
+        let ref_dynamic = 100.0;
+        let leakage = 20.0;
+        WofConfig {
+            power_budget: ref_dynamic + leakage,
+            ref_dynamic_power: ref_dynamic,
+            leakage_power: leakage,
+            vf,
+            fmin: 2.8,
+            fmax: 4.8,
+        }
+    }
+}
+
+/// The WOF decision for one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WofDecision {
+    /// Chosen operating point.
+    pub point: OperatingPoint,
+    /// Frequency boost relative to nominal (1.0 = no boost).
+    pub boost: f64,
+    /// Projected total power at the chosen point.
+    pub power: f64,
+}
+
+/// Total power at frequency `f` for a workload with the given effective
+/// capacitance ratio; `reclaimed_leakage` is subtracted (power-gated
+/// units).
+fn power_at(cfg: &WofConfig, ceff_ratio: f64, reclaimed_leakage: f64, f: f64) -> f64 {
+    let point = OperatingPoint::at(&cfg.vf, f);
+    scale_dynamic(cfg.ref_dynamic_power * ceff_ratio, &cfg.vf, point)
+        + scale_leakage(
+            (cfg.leakage_power - reclaimed_leakage).max(0.0),
+            &cfg.vf,
+            point,
+        )
+}
+
+/// Solves the WOF frequency for a workload.
+///
+/// `ceff_ratio` is the workload's effective capacitance relative to the
+/// design-point workload (< 1 for lighter workloads, which therefore get
+/// a boost). Deterministic bisection to 1 MHz.
+#[must_use]
+pub fn solve(cfg: &WofConfig, ceff_ratio: f64, reclaimed_leakage: f64) -> WofDecision {
+    let (mut lo, mut hi) = (cfg.fmin, cfg.fmax);
+    // If even fmax fits the budget, take it.
+    let f = if power_at(cfg, ceff_ratio, reclaimed_leakage, hi) <= cfg.power_budget {
+        hi
+    } else if power_at(cfg, ceff_ratio, reclaimed_leakage, lo) > cfg.power_budget {
+        lo // throttling must handle the rest (see `throttle`)
+    } else {
+        while hi - lo > 1e-3 {
+            let mid = 0.5 * (lo + hi);
+            if power_at(cfg, ceff_ratio, reclaimed_leakage, mid) <= cfg.power_budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
+    WofDecision {
+        point: OperatingPoint::at(&cfg.vf, f),
+        boost: f / cfg.vf.f0,
+        power: power_at(cfg, ceff_ratio, reclaimed_leakage, f),
+    }
+}
+
+/// Computes a workload's effective capacitance ratio from measured
+/// dynamic powers at iso voltage/frequency (workload / reference).
+#[must_use]
+pub fn ceff_ratio(workload_dynamic_power: f64, ref_dynamic_power: f64) -> f64 {
+    workload_dynamic_power / ref_dynamic_power.max(1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_point_workload_runs_at_nominal() {
+        let cfg = WofConfig::typical();
+        let d = solve(&cfg, 1.0, 0.0);
+        assert!(
+            (d.point.freq - cfg.vf.f0).abs() < 0.01,
+            "ceff=1 must land at nominal, got {}",
+            d.point.freq
+        );
+        assert!(d.power <= cfg.power_budget + 1e-6);
+    }
+
+    #[test]
+    fn light_workloads_get_boosted() {
+        let cfg = WofConfig::typical();
+        let d = solve(&cfg, 0.7, 0.0);
+        assert!(d.boost > 1.05, "light workload boost {}", d.boost);
+        assert!(d.point.freq <= cfg.fmax);
+        assert!(d.power <= cfg.power_budget + 1e-6);
+    }
+
+    #[test]
+    fn heavy_workloads_clamp_to_fmin() {
+        let cfg = WofConfig::typical();
+        let d = solve(&cfg, 2.5, 0.0);
+        assert!((d.point.freq - cfg.fmin).abs() < 1e-9);
+        // At fmin the budget may still be exceeded — instruction
+        // throttling takes over (paper §IV-B).
+        assert!(d.power > 0.0);
+    }
+
+    #[test]
+    fn mma_power_gating_buys_extra_frequency() {
+        // Paper: the gated MMA's leakage "is instead applied to achieve
+        // higher performance".
+        let cfg = WofConfig::typical();
+        let without = solve(&cfg, 0.95, 0.0);
+        let with = solve(&cfg, 0.95, 4.0);
+        assert!(
+            with.point.freq > without.point.freq,
+            "reclaimed leakage must raise WOF frequency: {} vs {}",
+            without.point.freq,
+            with.point.freq
+        );
+    }
+
+    #[test]
+    fn wof_is_deterministic() {
+        let cfg = WofConfig::typical();
+        let a = solve(&cfg, 0.83, 1.0);
+        let b = solve(&cfg, 0.83, 1.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boost_is_monotone_in_lightness() {
+        let cfg = WofConfig::typical();
+        let mut last = f64::INFINITY;
+        for ceff in [0.5, 0.7, 0.9, 1.1, 1.4] {
+            let d = solve(&cfg, ceff, 0.0);
+            assert!(d.point.freq <= last + 1e-9, "freq must fall as ceff rises");
+            last = d.point.freq;
+        }
+    }
+}

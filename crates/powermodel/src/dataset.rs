@@ -1,0 +1,146 @@
+//! Datasets of counter samples and power targets.
+
+use serde::{Deserialize, Serialize};
+
+/// A regression dataset: named counter features and a power target per
+/// sample.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature (counter) names.
+    pub feature_names: Vec<String>,
+    /// Row-major feature matrix.
+    pub rows: Vec<Vec<f64>>,
+    /// Target (power) per row.
+    pub targets: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature names.
+    #[must_use]
+    pub fn new(feature_names: Vec<String>) -> Self {
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the feature count.
+    pub fn push(&mut self, row: Vec<f64>, target: f64) {
+        assert_eq!(row.len(), self.feature_names.len(), "row width mismatch");
+        self.rows.push(row);
+        self.targets.push(target);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no samples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of features.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// A view restricted to the given feature indices.
+    #[must_use]
+    pub fn project(&self, features: &[usize]) -> Dataset {
+        Dataset {
+            feature_names: features
+                .iter()
+                .map(|&i| self.feature_names[i].clone())
+                .collect(),
+            rows: self
+                .rows
+                .iter()
+                .map(|r| features.iter().map(|&i| r[i]).collect())
+                .collect(),
+            targets: self.targets.clone(),
+        }
+    }
+
+    /// Splits into (train, test) deterministically: every `k`-th sample
+    /// goes to test.
+    #[must_use]
+    pub fn split_every(&self, k: usize) -> (Dataset, Dataset) {
+        let mut train = Dataset::new(self.feature_names.clone());
+        let mut test = Dataset::new(self.feature_names.clone());
+        for (i, (row, &t)) in self.rows.iter().zip(self.targets.iter()).enumerate() {
+            if k > 0 && i % k == k - 1 {
+                test.push(row.clone(), t);
+            } else {
+                train.push(row.clone(), t);
+            }
+        }
+        (train, test)
+    }
+
+    /// Mean of the targets.
+    #[must_use]
+    pub fn target_mean(&self) -> f64 {
+        if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets.iter().sum::<f64>() / self.targets.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        for i in 0..10 {
+            let f = f64::from(i);
+            d.push(vec![f, 2.0 * f, 1.0], 3.0 * f);
+        }
+        d
+    }
+
+    #[test]
+    fn push_and_dims() {
+        let d = ds();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.width(), 3);
+        assert!(!d.is_empty());
+        assert!((d.target_mean() - 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        let mut d = ds();
+        d.push(vec![1.0], 0.0);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let p = ds().project(&[2, 0]);
+        assert_eq!(p.feature_names, vec!["c".to_owned(), "a".to_owned()]);
+        assert_eq!(p.rows[3], vec![1.0, 3.0]);
+        assert_eq!(p.targets.len(), 10);
+    }
+
+    #[test]
+    fn split_every_is_deterministic_partition() {
+        let (tr, te) = ds().split_every(5);
+        assert_eq!(tr.len(), 8);
+        assert_eq!(te.len(), 2);
+        assert_eq!(te.rows[0][0], 4.0);
+        assert_eq!(te.rows[1][0], 9.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Minimal dense linear algebra: normal equations with Gaussian
+//! elimination (partial pivoting) and a ridge term for stability.
+
+/// Solves `(XᵀX + ridge·I) β = Xᵀy` for `β`.
+///
+/// `x` is row-major with `n_features` columns. Returns `None` if the
+/// system is singular beyond what the ridge term can stabilize.
+#[must_use]
+#[allow(clippy::needless_range_loop)] // matrix index symmetry
+pub fn solve_normal_equations(x: &[Vec<f64>], y: &[f64], ridge: f64) -> Option<Vec<f64>> {
+    let n = x.first().map_or(0, Vec::len);
+    if n == 0 || x.len() != y.len() {
+        return None;
+    }
+    // Build XtX and Xty.
+    let mut a = vec![vec![0.0; n]; n];
+    let mut b = vec![0.0; n];
+    for (row, &yi) in x.iter().zip(y.iter()) {
+        debug_assert_eq!(row.len(), n);
+        for i in 0..n {
+            b[i] += row[i] * yi;
+            for j in i..n {
+                a[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            a[i][j] = a[j][i];
+        }
+        a[i][i] += ridge;
+    }
+    gaussian_solve(&mut a, &mut b)
+}
+
+/// In-place Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // index symmetry reads clearer here
+fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if a[r][col].abs() > a[pivot][col].abs() {
+                pivot = r;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate.
+        for r in (col + 1)..n {
+            let f = a[r][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r][c] -= f * a[col][c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut out = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut s = b[col];
+        for c in (col + 1)..n {
+            s -= a[col][c] * out[c];
+        }
+        out[col] = s / a[col][col];
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_exact_linear_system() {
+        // y = 2*x0 + 3*x1
+        let x = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 1.0],
+            vec![2.0, 1.0],
+        ];
+        let y = vec![2.0, 3.0, 5.0, 7.0];
+        let beta = solve_normal_equations(&x, &y, 0.0).unwrap();
+        assert!((beta[0] - 2.0).abs() < 1e-9);
+        assert!((beta[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_of_overdetermined_noisy_system() {
+        // y = 5*x with symmetric noise: slope recovered.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i)]).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| 5.0 * f64::from(i) + if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let beta = solve_normal_equations(&x, &y, 0.0).unwrap();
+        assert!((beta[0] - 5.0).abs() < 0.01, "slope {}", beta[0]);
+    }
+
+    #[test]
+    fn singular_without_ridge_fails_with_ridge_succeeds() {
+        // Two identical columns: singular.
+        let x = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]];
+        let y = vec![2.0, 4.0, 6.0];
+        assert!(solve_normal_equations(&x, &y, 0.0).is_none());
+        let beta = solve_normal_equations(&x, &y, 1e-6).unwrap();
+        // Ridge splits the weight across the duplicated columns.
+        assert!((beta[0] + beta[1] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert!(solve_normal_equations(&[], &[], 0.0).is_none());
+        let x = vec![vec![]];
+        let y = vec![0.0];
+        assert!(solve_normal_equations(&x, &y, 0.0).is_none());
+    }
+}

@@ -1,0 +1,223 @@
+//! Constrained linear regression for counter-based power models.
+
+use crate::dataset::Dataset;
+use crate::linalg::solve_normal_equations;
+use serde::{Deserialize, Serialize};
+
+/// Modeling constraints (the paper's design exploration: number of
+/// inputs, coefficient ranges — all-positive or not — and intercepts —
+/// with and without).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitOptions {
+    /// Whether the model may include an intercept term.
+    pub intercept: bool,
+    /// Whether coefficients are constrained to be non-negative (a common
+    /// requirement for hardware proxy implementations: counters can only
+    /// add power).
+    pub nonnegative: bool,
+    /// Ridge stabilization.
+    pub ridge: f64,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            intercept: true,
+            nonnegative: false,
+            ridge: 1e-9,
+        }
+    }
+}
+
+/// A fitted linear power model over a subset of features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    /// Indices of the features used (into the full dataset).
+    pub features: Vec<usize>,
+    /// Feature names (for interpretability — the paper stresses simple,
+    /// interpretable models for designers).
+    pub feature_names: Vec<String>,
+    /// Coefficient per used feature.
+    pub coefficients: Vec<f64>,
+    /// Intercept (0 when disabled).
+    pub intercept: f64,
+}
+
+impl LinearModel {
+    /// Predicts the target for one full-width row.
+    #[must_use]
+    pub fn predict(&self, row: &[f64]) -> f64 {
+        self.intercept
+            + self
+                .features
+                .iter()
+                .zip(self.coefficients.iter())
+                .map(|(&f, &c)| c * row[f])
+                .sum::<f64>()
+    }
+
+    /// Mean absolute percentage error on a dataset (relative to the mean
+    /// target, matching "% error on active power" style reporting).
+    #[must_use]
+    pub fn mean_abs_pct_error(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let scale = data.target_mean().abs().max(1e-12);
+        let sum: f64 = data
+            .rows
+            .iter()
+            .zip(data.targets.iter())
+            .map(|(r, &t)| (self.predict(r) - t).abs())
+            .sum();
+        sum / data.len() as f64 / scale * 100.0
+    }
+
+    /// Mean residual (signed); near zero for an unconstrained fit with
+    /// intercept (normal-equation orthogonality).
+    #[must_use]
+    pub fn mean_residual(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        data.rows
+            .iter()
+            .zip(data.targets.iter())
+            .map(|(r, &t)| self.predict(r) - t)
+            .sum::<f64>()
+            / data.len() as f64
+    }
+}
+
+/// Fits a linear model on the given feature subset of `data`.
+///
+/// Non-negativity is enforced by an active-set style iteration: fit,
+/// drop the most negative coefficient, refit.
+#[must_use]
+pub fn fit(data: &Dataset, features: &[usize], opts: FitOptions) -> Option<LinearModel> {
+    let mut active: Vec<usize> = features.to_vec();
+    loop {
+        let n = active.len() + usize::from(opts.intercept);
+        if n == 0 {
+            return Some(LinearModel {
+                features: Vec::new(),
+                feature_names: Vec::new(),
+                coefficients: Vec::new(),
+                intercept: 0.0,
+            });
+        }
+        // Build design matrix.
+        let x: Vec<Vec<f64>> = data
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row: Vec<f64> = active.iter().map(|&f| r[f]).collect();
+                if opts.intercept {
+                    row.push(1.0);
+                }
+                row
+            })
+            .collect();
+        let beta = solve_normal_equations(&x, &data.targets, opts.ridge)?;
+        let (coefs, intercept) = if opts.intercept {
+            (beta[..active.len()].to_vec(), beta[active.len()])
+        } else {
+            (beta, 0.0)
+        };
+        if opts.nonnegative {
+            // Drop the most negative coefficient, if any.
+            if let Some((worst, _)) = coefs
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c < -1e-12)
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            {
+                active.remove(worst);
+                continue;
+            }
+        }
+        return Some(LinearModel {
+            feature_names: active
+                .iter()
+                .map(|&f| data.feature_names[f].clone())
+                .collect(),
+            features: active,
+            coefficients: coefs,
+            intercept,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synth(n: usize) -> Dataset {
+        // target = 4*a + 0.5*b + 10 with a small deterministic wobble
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "noise".into()]);
+        for i in 0..n {
+            let a = (i % 17) as f64;
+            let b = (i % 5) as f64 * 3.0;
+            let noise = ((i * 2654435761) % 97) as f64 / 97.0;
+            let wobble = if i % 2 == 0 { 0.05 } else { -0.05 };
+            d.push(vec![a, b, noise], 4.0 * a + 0.5 * b + 10.0 + wobble);
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_coefficients() {
+        let d = synth(200);
+        let m = fit(&d, &[0, 1], FitOptions::default()).unwrap();
+        assert!((m.coefficients[0] - 4.0).abs() < 0.01);
+        assert!((m.coefficients[1] - 0.5).abs() < 0.01);
+        assert!((m.intercept - 10.0).abs() < 0.1);
+        assert!(m.mean_abs_pct_error(&d) < 1.0);
+    }
+
+    #[test]
+    fn residuals_are_centered_with_intercept() {
+        let d = synth(100);
+        let m = fit(&d, &[0, 1, 2], FitOptions::default()).unwrap();
+        assert!(m.mean_residual(&d).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_intercept_constraint_respected() {
+        let d = synth(100);
+        let opts = FitOptions {
+            intercept: false,
+            ..FitOptions::default()
+        };
+        let m = fit(&d, &[0, 1], opts).unwrap();
+        assert_eq!(m.intercept, 0.0);
+        // Error worse than with intercept (true model has one).
+        let with = fit(&d, &[0, 1], FitOptions::default()).unwrap();
+        assert!(m.mean_abs_pct_error(&d) > with.mean_abs_pct_error(&d));
+    }
+
+    #[test]
+    fn nonnegative_drops_negative_coefficients() {
+        // target anti-correlates with feature 0.
+        let mut d = Dataset::new(vec!["anti".into(), "pro".into()]);
+        for i in 0..50 {
+            let a = f64::from(i);
+            d.push(vec![a, 2.0 * a], 100.0 - 3.0 * a + 8.0 * a);
+        }
+        let opts = FitOptions {
+            nonnegative: true,
+            ..FitOptions::default()
+        };
+        let m = fit(&d, &[0, 1], opts).unwrap();
+        assert!(m.coefficients.iter().all(|&c| c >= -1e-12));
+    }
+
+    #[test]
+    fn empty_feature_set_predicts_zero_plus_intercept() {
+        let d = synth(10);
+        let m = fit(&d, &[], FitOptions::default()).unwrap();
+        // With intercept only, the solve degenerates to the mean.
+        let err = m.mean_abs_pct_error(&d);
+        assert!(err.is_finite());
+    }
+}

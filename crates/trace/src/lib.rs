@@ -1,0 +1,87 @@
+//! # p10-trace
+//!
+//! Representative-trace methodologies (paper §III-A):
+//!
+//! * [`simpoint`] — the baseline the paper compares against: intervals
+//!   are summarized by Basic Block Vectors (BBVs) and clustered with
+//!   k-means; one representative interval per cluster, weighted by
+//!   cluster size.
+//! * [`tracepoints`] — the paper's methodology: epochs are summarized by
+//!   *performance-counter* vectors (CPI, cache misses, branch misses, op
+//!   mix) collected at millisecond-class granularity, binned by
+//!   performance, and selected per-bin so the concatenated trace matches
+//!   the aggregate behaviour of the full application. This captures
+//!   phases that BBVs cannot see — notably data-dependent phases of
+//!   interpreted-language workloads where the *code* (and hence the BBV)
+//!   barely changes while performance swings.
+//!
+//! Both produce a weighted selection of intervals; `weighted_estimate`
+//! projects any metric from the selection, so accuracy comparisons are a
+//! one-liner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod simpoint;
+pub mod tracepoints;
+
+use serde::{Deserialize, Serialize};
+
+/// A weighted selection of interval/epoch indices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// `(index, weight)` pairs; weights sum to 1.
+    pub picks: Vec<(usize, f64)>,
+}
+
+impl Selection {
+    /// Projects a per-interval metric through the selection weights.
+    #[must_use]
+    pub fn weighted_estimate(&self, metric: &[f64]) -> f64 {
+        self.picks.iter().map(|&(i, w)| metric[i] * w).sum::<f64>()
+    }
+
+    /// Number of representatives selected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.picks.len()
+    }
+
+    /// Whether the selection is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.picks.is_empty()
+    }
+}
+
+/// Mean of a slice (0 for empty) — the "ground truth" aggregate.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_estimate_basics() {
+        let s = Selection {
+            picks: vec![(0, 0.25), (2, 0.75)],
+        };
+        let metric = [4.0, 100.0, 8.0];
+        assert!((s.weighted_estimate(&metric) - 7.0).abs() < 1e-12);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+    }
+}

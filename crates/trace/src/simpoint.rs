@@ -1,0 +1,210 @@
+//! Simpoint-style representative intervals: BBVs + k-means.
+
+use crate::Selection;
+use p10_isa::Trace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds normalized Basic Block Vectors for consecutive intervals of
+/// `interval_ops` dynamic instructions. Basic blocks are approximated by
+/// bucketing instruction addresses (`n_buckets` code regions), which
+/// matches BBV behaviour for our generated code layouts.
+#[must_use]
+pub fn bbv_intervals(trace: &Trace, interval_ops: usize, n_buckets: usize) -> Vec<Vec<f64>> {
+    assert!(interval_ops > 0 && n_buckets > 0);
+    let mut out = Vec::new();
+    for chunk in trace.ops.chunks(interval_ops) {
+        if chunk.len() < interval_ops {
+            break; // drop the ragged tail
+        }
+        let mut v = vec![0.0f64; n_buckets];
+        for op in chunk {
+            let bucket = ((op.pc >> 4) as usize) % n_buckets;
+            v[bucket] += 1.0;
+        }
+        let norm: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= norm;
+        }
+        out.push(v);
+    }
+    out
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Deterministic k-means with k-means++-style seeding.
+///
+/// Returns `(assignments, centroids)`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty or `k == 0`.
+#[must_use]
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> (Vec<usize>, Vec<Vec<f64>>) {
+    assert!(!points.is_empty() && k > 0);
+    let k = k.min(points.len());
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // k-means++ init.
+    let mut centroids: Vec<Vec<f64>> = vec![points[rng.gen_range(0..points.len())].clone()];
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist2(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 0.0 {
+            centroids.push(points[centroids.len() % points.len()].clone());
+            continue;
+        }
+        let mut r = rng.gen_range(0.0..total);
+        let mut pick = 0;
+        for (i, &d) in d2.iter().enumerate() {
+            if r <= d {
+                pick = i;
+                break;
+            }
+            r -= d;
+        }
+        centroids.push(points[pick].clone());
+    }
+
+    let mut assign = vec![0usize; points.len()];
+    for _ in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a])
+                        .partial_cmp(&dist2(p, &centroids[b]))
+                        .expect("finite")
+                })
+                .expect("k >= 1");
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let dim = points[0].len();
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assign[i]] += 1;
+            for (s, &x) in sums[assign[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, n)) in centroids.iter_mut().zip(sums.iter().zip(counts.iter())) {
+            if *n > 0 {
+                *c = sum.iter().map(|s| s / *n as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (assign, centroids)
+}
+
+/// Selects simpoints: one representative interval per cluster (the one
+/// closest to the centroid), weighted by cluster population.
+#[must_use]
+pub fn simpoints(bbvs: &[Vec<f64>], k: usize, seed: u64) -> Selection {
+    if bbvs.is_empty() {
+        return Selection { picks: Vec::new() };
+    }
+    let (assign, centroids) = kmeans(bbvs, k, seed);
+    let mut picks = Vec::new();
+    let n = bbvs.len() as f64;
+    for (ci, c) in centroids.iter().enumerate() {
+        let members: Vec<usize> = (0..bbvs.len()).filter(|&i| assign[i] == ci).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                dist2(&bbvs[a], c)
+                    .partial_cmp(&dist2(&bbvs[b], c))
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        picks.push((rep, members.len() as f64 / n));
+    }
+    Selection { picks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmeans_separates_two_obvious_clusters() {
+        let mut pts: Vec<Vec<f64>> = Vec::new();
+        for i in 0..20 {
+            let e = f64::from(i % 3) * 0.01;
+            pts.push(vec![0.0 + e, 1.0 - e]);
+            pts.push(vec![1.0 - e, 0.0 + e]);
+        }
+        let (assign, _) = kmeans(&pts, 2, 1);
+        // Even indices are cluster A, odd cluster B (construction order).
+        let a0 = assign[0];
+        assert!(assign.iter().step_by(2).all(|&a| a == a0));
+        assert!(assign.iter().skip(1).step_by(2).all(|&a| a != a0));
+    }
+
+    #[test]
+    fn simpoint_weights_sum_to_one() {
+        let pts: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![f64::from(i % 5), f64::from(i % 7)])
+            .collect();
+        let s = simpoints(&pts, 4, 7);
+        let total: f64 = s.picks.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(s.len() <= 4);
+    }
+
+    #[test]
+    fn bbv_intervals_are_normalized_distributions() {
+        use p10_isa::{Machine, ProgramBuilder, Reg};
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), 1000);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        for _ in 0..6 {
+            b.addi(Reg::gpr(5), Reg::gpr(5), 1);
+        }
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 100_000).unwrap();
+        // Interval = multiple of the 7-op loop body so intervals align.
+        let bbvs = bbv_intervals(&t, 700, 16);
+        assert!(bbvs.len() > 3);
+        for v in &bbvs {
+            let s: f64 = v.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+        // A single loop: every steady-state interval has the same BBV
+        // (skip the first, which contains the prologue).
+        for v in &bbvs[2..] {
+            assert!(dist2(v, &bbvs[1]) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kmeans_is_deterministic_per_seed() {
+        let pts: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from(i % 8) * 0.1, f64::from((i * 3) % 5)])
+            .collect();
+        let (a1, _) = kmeans(&pts, 3, 42);
+        let (a2, _) = kmeans(&pts, 3, 42);
+        assert_eq!(a1, a2);
+    }
+}

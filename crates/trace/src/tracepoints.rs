@@ -1,0 +1,173 @@
+//! Tracepoints: performance-counter-histogram epoch selection.
+//!
+//! Performance-counter information is collected per epoch and epochs are
+//! assigned to histogram bins by CPI (and optionally other metrics such
+//! as cache misses, branch mispredictions and op mix). Individual epochs
+//! are picked from bins so that the concatenated trace matches the
+//! aggregate performance of the full application (paper §III-A).
+
+use crate::Selection;
+use serde::{Deserialize, Serialize};
+
+/// An epoch's performance-counter summary. `metrics[0]` is the primary
+/// binning metric (CPI by convention); further entries refine binning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Epoch {
+    /// Counter values for this epoch.
+    pub metrics: Vec<f64>,
+}
+
+/// Tracepoints configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TracepointConfig {
+    /// Histogram bins on the primary metric.
+    pub bins: usize,
+    /// Secondary-metric sub-bins (1 = primary only).
+    pub sub_bins: usize,
+    /// Maximum epochs selected (the trace budget).
+    pub budget: usize,
+}
+
+impl Default for TracepointConfig {
+    fn default() -> Self {
+        TracepointConfig {
+            bins: 8,
+            sub_bins: 2,
+            budget: 16,
+        }
+    }
+}
+
+fn bin_of(value: f64, lo: f64, hi: f64, bins: usize) -> usize {
+    if hi <= lo {
+        return 0;
+    }
+    (((value - lo) / (hi - lo) * bins as f64) as usize).min(bins - 1)
+}
+
+/// Selects representative epochs: one per populated (bin, sub-bin) cell
+/// up to the budget (largest cells first), weighted by cell population.
+#[must_use]
+pub fn tracepoints(epochs: &[Epoch], cfg: &TracepointConfig) -> Selection {
+    if epochs.is_empty() {
+        return Selection { picks: Vec::new() };
+    }
+    let primary: Vec<f64> = epochs.iter().map(|e| e.metrics[0]).collect();
+    let (p_lo, p_hi) = (
+        primary.iter().copied().fold(f64::INFINITY, f64::min),
+        primary.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    let secondary: Vec<f64> = epochs
+        .iter()
+        .map(|e| e.metrics.get(1).copied().unwrap_or(0.0))
+        .collect();
+    let (s_lo, s_hi) = (
+        secondary.iter().copied().fold(f64::INFINITY, f64::min),
+        secondary.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+
+    // Assign epochs to cells.
+    let n_cells = cfg.bins * cfg.sub_bins;
+    let mut cells: Vec<Vec<usize>> = vec![Vec::new(); n_cells];
+    for (i, e) in epochs.iter().enumerate() {
+        let b = bin_of(e.metrics[0], p_lo, p_hi, cfg.bins);
+        let sb = bin_of(secondary[i], s_lo, s_hi, cfg.sub_bins);
+        cells[b * cfg.sub_bins + sb].push(i);
+    }
+
+    // Largest cells first, up to the budget.
+    let mut order: Vec<usize> = (0..n_cells).filter(|&c| !cells[c].is_empty()).collect();
+    order.sort_by_key(|&c| std::cmp::Reverse(cells[c].len()));
+    order.truncate(cfg.budget.max(1));
+
+    let covered: usize = order.iter().map(|&c| cells[c].len()).sum();
+    let mut picks = Vec::new();
+    for &c in &order {
+        let members = &cells[c];
+        // Representative: the epoch whose primary metric is closest to
+        // the cell mean (matching aggregate performance).
+        let mean: f64 = members.iter().map(|&i| primary[i]).sum::<f64>() / members.len() as f64;
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                (primary[a] - mean)
+                    .abs()
+                    .partial_cmp(&(primary[b] - mean).abs())
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        picks.push((rep, members.len() as f64 / covered as f64));
+    }
+    Selection { picks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mean;
+
+    fn phased_epochs() -> Vec<Epoch> {
+        // Two performance phases with identical "code": CPI 0.5 vs 2.5.
+        (0..100)
+            .map(|i| {
+                let cpi = if (i / 10) % 2 == 0 { 0.5 } else { 2.5 };
+                Epoch {
+                    metrics: vec![cpi, f64::from(i % 3)],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selection_matches_aggregate_cpi() {
+        let epochs = phased_epochs();
+        let s = tracepoints(&epochs, &TracepointConfig::default());
+        let cpis: Vec<f64> = epochs.iter().map(|e| e.metrics[0]).collect();
+        let full = mean(&cpis);
+        let est = s.weighted_estimate(&cpis);
+        assert!(
+            (est - full).abs() / full < 0.05,
+            "tracepoint estimate {est} must match full {full}"
+        );
+    }
+
+    #[test]
+    fn both_phases_are_represented() {
+        let epochs = phased_epochs();
+        let s = tracepoints(&epochs, &TracepointConfig::default());
+        let picked: Vec<f64> = s.picks.iter().map(|&(i, _)| epochs[i].metrics[0]).collect();
+        assert!(picked.iter().any(|&c| c < 1.0), "fast phase missing");
+        assert!(picked.iter().any(|&c| c > 2.0), "slow phase missing");
+    }
+
+    #[test]
+    fn budget_bounds_selection_size() {
+        let epochs = phased_epochs();
+        let cfg = TracepointConfig {
+            bins: 8,
+            sub_bins: 2,
+            budget: 3,
+        };
+        let s = tracepoints(&epochs, &cfg);
+        assert!(s.len() <= 3);
+        let total: f64 = s.picks.iter().map(|&(_, w)| w).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_epochs_need_one_representative() {
+        let epochs: Vec<Epoch> = (0..50)
+            .map(|_| Epoch {
+                metrics: vec![1.0, 0.0],
+            })
+            .collect();
+        let s = tracepoints(&epochs, &TracepointConfig::default());
+        assert_eq!(s.len(), 1);
+        assert!((s.picks[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_epochs_empty_selection() {
+        assert!(tracepoints(&[], &TracepointConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,425 @@
+//! Set-associative caches, the three-level hierarchy, and the stream
+//! prefetcher.
+//!
+//! The hierarchy is modeled inclusively: a miss at level N fills levels
+//! N and above. Latencies are the configured hit latencies of the level
+//! that serviced the access (plus memory latency when everything misses).
+
+use crate::config::{CacheConfig, CoreConfig};
+use crate::stats::Activity;
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    /// LRU stamp: larger = more recently used.
+    lru: u64,
+    /// Set when the line was brought in by the prefetcher and not yet used.
+    prefetched: bool,
+}
+
+/// A set-associative cache with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    lines: Vec<Line>,
+    sets: u64,
+    ways: usize,
+    line_shift: u32,
+    stamp: u64,
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether the hit line had been installed by the prefetcher and this
+    /// is its first demand use.
+    pub prefetch_hit: bool,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    #[must_use]
+    pub fn new(cfg: &CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            lines: vec![Line::default(); (sets as usize) * cfg.ways as usize],
+            sets,
+            ways: cfg.ways as usize,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            stamp: 0,
+        }
+    }
+
+    fn set_range(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr % self.sets) as usize;
+        (set * self.ways, line_addr / self.sets)
+    }
+
+    /// Accesses `addr`: on miss, allocates the line (LRU victim).
+    pub fn access(&mut self, addr: u64) -> CacheOutcome {
+        self.access_inner(addr, false)
+    }
+
+    /// Installs `addr` as a prefetch (no demand-use semantics). Returns
+    /// `true` if the line was already present.
+    pub fn prefetch(&mut self, addr: u64) -> bool {
+        self.access_inner(addr, true).hit
+    }
+
+    fn access_inner(&mut self, addr: u64, is_prefetch: bool) -> CacheOutcome {
+        self.stamp += 1;
+        let (base, tag) = self.set_range(addr);
+        let ways = &mut self.lines[base..base + self.ways];
+        // Hit?
+        for l in ways.iter_mut() {
+            if l.valid && l.tag == tag {
+                l.lru = self.stamp;
+                let was_prefetched = l.prefetched;
+                if !is_prefetch {
+                    l.prefetched = false;
+                }
+                return CacheOutcome {
+                    hit: true,
+                    prefetch_hit: was_prefetched && !is_prefetch,
+                };
+            }
+        }
+        // Miss: evict LRU.
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("ways >= 1");
+        *victim = Line {
+            tag,
+            valid: true,
+            lru: self.stamp,
+            prefetched: is_prefetch,
+        };
+        CacheOutcome {
+            hit: false,
+            prefetch_hit: false,
+        }
+    }
+
+    /// Whether `addr` is currently resident (no state change).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (base, tag) = self.set_range(addr);
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Stream {
+    next_line: u64,
+    dir: i64,
+    confidence: u8,
+    valid: bool,
+    lru: u64,
+}
+
+/// A stride-1 stream prefetcher with a fixed number of streams
+/// (POWER10: 16, POWER9: 8 in this model).
+#[derive(Debug, Clone)]
+pub struct StreamPrefetcher {
+    streams: Vec<Stream>,
+    stamp: u64,
+    /// Prefetch depth: how many lines ahead to run.
+    depth: u64,
+}
+
+impl StreamPrefetcher {
+    /// Creates a prefetcher with `streams` stream slots (0 disables).
+    #[must_use]
+    pub fn new(streams: u32) -> Self {
+        StreamPrefetcher {
+            streams: vec![Stream::default(); streams as usize],
+            stamp: 0,
+            depth: 4,
+        }
+    }
+
+    /// Observes a demand miss at `line_addr` (line-granular address) and
+    /// returns the line addresses to prefetch.
+    pub fn observe_miss(&mut self, line_addr: u64) -> Vec<u64> {
+        if self.streams.is_empty() {
+            return Vec::new();
+        }
+        self.stamp += 1;
+        // Existing stream this miss extends?
+        for s in &mut self.streams {
+            if s.valid && line_addr == s.next_line {
+                s.confidence = (s.confidence + 1).min(4);
+                s.lru = self.stamp;
+                let dir = s.dir;
+                s.next_line = line_addr.wrapping_add(dir as u64);
+                if s.confidence >= 2 {
+                    return (1..=self.depth)
+                        .map(|k| line_addr.wrapping_add((dir * k as i64) as u64))
+                        .collect();
+                }
+                return Vec::new();
+            }
+        }
+        // Allocate ascending and mark neighbour expectations.
+        let victim = self
+            .streams
+            .iter_mut()
+            .min_by_key(|s| if s.valid { s.lru } else { 0 })
+            .expect("streams >= 1");
+        *victim = Stream {
+            next_line: line_addr + 1,
+            dir: 1,
+            confidence: 0,
+            valid: true,
+            lru: self.stamp,
+        };
+        Vec::new()
+    }
+}
+
+/// The level that serviced a data access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HitLevel {
+    /// L1 data cache hit.
+    L1,
+    /// L2 hit.
+    L2,
+    /// L3 hit.
+    L3,
+    /// Serviced from memory.
+    Mem,
+}
+
+/// The unified memory hierarchy used by the fetch and load/store pipelines.
+#[derive(Debug, Clone)]
+pub struct MemHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l3: Cache,
+    prefetcher: StreamPrefetcher,
+    l1i_latency: u32,
+    l1d_latency: u32,
+    l2_latency: u32,
+    l3_latency: u32,
+    mem_latency: u32,
+    perfect_l2: bool,
+    line_shift: u32,
+}
+
+impl MemHierarchy {
+    /// Builds the hierarchy from a core configuration.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> Self {
+        MemHierarchy {
+            l1i: Cache::new(&cfg.l1i),
+            l1d: Cache::new(&cfg.l1d),
+            l2: Cache::new(&cfg.l2),
+            l3: Cache::new(&cfg.l3),
+            prefetcher: StreamPrefetcher::new(cfg.prefetch_streams),
+            l1i_latency: cfg.l1i.latency,
+            l1d_latency: cfg.l1d.latency,
+            l2_latency: cfg.l2.latency,
+            l3_latency: cfg.l3.latency,
+            mem_latency: cfg.mem_latency,
+            perfect_l2: cfg.perfect_l2,
+            line_shift: cfg.l1d.line_bytes.trailing_zeros(),
+        }
+    }
+
+    /// Performs a data access, updating counters; returns the total
+    /// latency and the servicing level.
+    pub fn access_data(&mut self, addr: u64, act: &mut Activity) -> (u32, HitLevel) {
+        act.l1d_accesses += 1;
+        let o = self.l1d.access(addr);
+        if o.prefetch_hit {
+            act.prefetch_hits += 1;
+        }
+        if o.hit {
+            return (self.l1d_latency, HitLevel::L1);
+        }
+        act.l1d_misses += 1;
+        // Prefetcher observes L1 demand misses.
+        let line = addr >> self.line_shift;
+        for pf_line in self.prefetcher.observe_miss(line) {
+            let pf_addr = pf_line << self.line_shift;
+            if !self.l1d.probe(pf_addr) {
+                act.prefetches_issued += 1;
+                self.l1d.prefetch(pf_addr);
+                self.l2.prefetch(pf_addr);
+            }
+        }
+        let (lat, lvl) = self.lower_levels(addr, act);
+        (self.l1d_latency + lat, lvl)
+    }
+
+    /// Performs an instruction fetch access; returns latency and whether
+    /// it hit in the L1I.
+    pub fn access_inst(&mut self, addr: u64, act: &mut Activity) -> (u32, bool) {
+        act.icache_accesses += 1;
+        if self.l1i.access(addr).hit {
+            return (self.l1i_latency, true);
+        }
+        act.icache_misses += 1;
+        let (lat, _) = self.lower_levels(addr, act);
+        (self.l1i_latency + lat, false)
+    }
+
+    fn lower_levels(&mut self, addr: u64, act: &mut Activity) -> (u32, HitLevel) {
+        act.l2_accesses += 1;
+        if self.perfect_l2 || self.l2.access(addr).hit {
+            return (self.l2_latency, HitLevel::L2);
+        }
+        act.l2_misses += 1;
+        act.l3_accesses += 1;
+        if self.l3.access(addr).hit {
+            return (self.l3_latency, HitLevel::L3);
+        }
+        act.l3_misses += 1;
+        (self.mem_latency, HitLevel::Mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> Cache {
+        Cache::new(&CacheConfig {
+            size_bytes: 4 * 128 * 2, // 2 sets, 4 ways
+            ways: 4,
+            line_bytes: 128,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(0x1000).hit);
+        assert!(c.access(0x1000).hit);
+        assert!(c.access(0x1040).hit); // same 128B line
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small_cache();
+        // Fill one set: with 2 sets and 128B lines, same set = stride 256.
+        for i in 0..4u64 {
+            c.access(i * 256);
+        }
+        c.access(0); // refresh line 0
+        c.access(4 * 256); // evicts line at 256 (LRU), not 0
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(4 * 256));
+    }
+
+    #[test]
+    fn probe_does_not_allocate() {
+        let mut c = small_cache();
+        assert!(!c.probe(0x2000));
+        assert!(!c.access(0x2000).hit);
+    }
+
+    #[test]
+    fn prefetched_line_first_use_is_flagged_once() {
+        let mut c = small_cache();
+        c.prefetch(0x3000);
+        let first = c.access(0x3000);
+        assert!(first.hit && first.prefetch_hit);
+        let second = c.access(0x3000);
+        assert!(second.hit && !second.prefetch_hit);
+    }
+
+    #[test]
+    fn stream_prefetcher_detects_ascending_stream() {
+        let mut p = StreamPrefetcher::new(4);
+        assert!(p.observe_miss(100).is_empty()); // allocate
+        assert!(p.observe_miss(101).is_empty()); // confidence 1
+        let pf = p.observe_miss(102); // confidence 2 -> fire
+        assert_eq!(pf, vec![103, 104, 105, 106]);
+    }
+
+    #[test]
+    fn disabled_prefetcher_is_silent() {
+        let mut p = StreamPrefetcher::new(0);
+        assert!(p.observe_miss(1).is_empty());
+        assert!(p.observe_miss(2).is_empty());
+        assert!(p.observe_miss(3).is_empty());
+    }
+
+    #[test]
+    fn hierarchy_counts_levels() {
+        let cfg = CoreConfig::power9();
+        let mut h = MemHierarchy::new(&cfg);
+        let mut act = Activity::default();
+        let (lat, lvl) = h.access_data(0x10_0000, &mut act);
+        assert_eq!(lvl, HitLevel::Mem);
+        assert_eq!(lat, cfg.l1d.latency + cfg.mem_latency);
+        assert_eq!(act.l1d_misses, 1);
+        assert_eq!(act.l2_misses, 1);
+        assert_eq!(act.l3_misses, 1);
+        let (lat2, lvl2) = h.access_data(0x10_0000, &mut act);
+        assert_eq!(lvl2, HitLevel::L1);
+        assert_eq!(lat2, cfg.l1d.latency);
+        assert_eq!(act.l1d_accesses, 2);
+        assert_eq!(act.l1d_misses, 1);
+    }
+
+    #[test]
+    fn perfect_l2_never_misses_beyond_l2() {
+        let mut cfg = CoreConfig::power9();
+        cfg.perfect_l2 = true;
+        let mut h = MemHierarchy::new(&cfg);
+        let mut act = Activity::default();
+        for i in 0..10_000u64 {
+            let (_, lvl) = h.access_data(i * 4096, &mut act);
+            assert!(lvl == HitLevel::L1 || lvl == HitLevel::L2);
+        }
+        assert_eq!(act.l3_accesses, 0);
+    }
+
+    #[test]
+    fn inst_side_counts_separately() {
+        let cfg = CoreConfig::power9();
+        let mut h = MemHierarchy::new(&cfg);
+        let mut act = Activity::default();
+        let (_, hit) = h.access_inst(0x1_0000, &mut act);
+        assert!(!hit);
+        let (lat, hit2) = h.access_inst(0x1_0000, &mut act);
+        assert!(hit2);
+        assert_eq!(lat, cfg.l1i.latency);
+        assert_eq!(act.icache_accesses, 2);
+        assert_eq!(act.icache_misses, 1);
+        assert_eq!(act.l1d_accesses, 0);
+    }
+
+    #[test]
+    fn sequential_stream_gets_prefetch_hits() {
+        let cfg = CoreConfig::power9();
+        let mut h = MemHierarchy::new(&cfg);
+        let mut act = Activity::default();
+        for i in 0..256u64 {
+            h.access_data(0x40_0000 + i * 128, &mut act);
+        }
+        assert!(
+            act.prefetches_issued > 0,
+            "prefetcher must fire on a stream"
+        );
+        assert!(act.prefetch_hits > 0, "prefetched lines must get used");
+        // With prefetching, misses should be well below 256.
+        assert!(
+            act.l1d_misses < 200,
+            "prefetching should cut misses, got {}",
+            act.l1d_misses
+        );
+    }
+}

@@ -1,0 +1,1669 @@
+//! The cycle-level out-of-order SMT pipeline.
+//!
+//! Trace-driven: each hardware thread replays a [`DynOp`] stream produced
+//! by functional execution (or by a statistical workload generator). Every
+//! cycle the model runs, in order: completion, execution progress, issue,
+//! decode/dispatch (with fusion), and fetch (with branch prediction and
+//! I-cache/I-ERAT effects).
+//!
+//! Mispredicted branches stall fetch for their thread until the branch
+//! executes plus the redirect penalty; the wrong-path fetch work the real
+//! front end would have performed in that window is estimated and counted
+//! in [`Activity::wrong_path_fetched`] (that is the paper's
+//! "wasted/flushed instructions" metric).
+
+use crate::branch::BranchPredictor;
+use crate::cache::MemHierarchy;
+use crate::config::CoreConfig;
+use crate::stats::{Activity, SimResult};
+use crate::tlb::{Mmu, TranslateSide};
+use p10_isa::fusion::{self, FusionKind};
+use p10_isa::{DynOp, MmaKind, OpClass, Trace, ARCH_REG_COUNT, MAX_SRCS};
+use std::collections::VecDeque;
+
+const NO_SLOT: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UopState {
+    Waiting,
+    Executing { done_at: u64 },
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    op: DynOp,
+    tid: u8,
+    seq: u64,
+    fetch_cycle: u64,
+    state: UopState,
+    /// (slot, seq) of producers; producer retired or Done = ready.
+    deps: [(u32, u64); MAX_SRCS],
+    mispredicted: bool,
+    /// Slot of the fused partner (this op is the pair head).
+    pair: u32,
+    /// This op is the second of a fused pair.
+    is_pair_second: bool,
+    /// This store op owns a store-queue entry (false for the second store
+    /// of a fused pair that shares its head's entry).
+    owns_sq: bool,
+    active: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FetchedOp {
+    op: DynOp,
+    mispredicted: bool,
+    fetch_cycle: u64,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    ops: Vec<DynOp>,
+    fetch_idx: usize,
+    fetch_buffer: VecDeque<FetchedOp>,
+    fetch_stall_until: u64,
+    /// Sequence number of an in-flight mispredicted branch blocking fetch.
+    mispredict_pending: Option<u64>,
+    completed: u64,
+    rob: VecDeque<u32>,
+    lq_used: u32,
+    sq_used: u32,
+    /// In-window stores (seq, addr, size, executed) for forwarding checks.
+    store_window: VecDeque<(u64, u64, u8, bool)>,
+    /// Per-arch-reg rename: packed reg -> (slot, seq).
+    rename: Vec<(u32, u64)>,
+}
+
+impl ThreadState {
+    fn new(ops: Vec<DynOp>) -> Self {
+        ThreadState {
+            ops,
+            fetch_idx: 0,
+            fetch_buffer: VecDeque::new(),
+            fetch_stall_until: 0,
+            mispredict_pending: None,
+            completed: 0,
+            rob: VecDeque::new(),
+            lq_used: 0,
+            sq_used: 0,
+            store_window: VecDeque::new(),
+            rename: vec![(NO_SLOT, 0); usize::from(ARCH_REG_COUNT) + 1],
+        }
+    }
+
+    fn fetch_done(&self) -> bool {
+        self.fetch_idx >= self.ops.len()
+    }
+
+    fn fully_done(&self) -> bool {
+        self.fetch_done() && self.fetch_buffer.is_empty() && self.rob.is_empty()
+    }
+}
+
+/// A drained (post-commit) store awaiting its cache write.
+#[derive(Debug, Clone, Copy)]
+struct PendingStore {
+    tid: u8,
+    addr: u64,
+    size: u8,
+    seq: u64,
+    /// Store-queue entries this drain slot releases.
+    sq_entries: u8,
+}
+
+/// The cycle-level core model.
+///
+/// Construct with a [`CoreConfig`], then call [`Core::run`] with one trace
+/// per hardware thread.
+#[derive(Debug)]
+pub struct Core {
+    cfg: CoreConfig,
+    predictor: BranchPredictor,
+    mem: MemHierarchy,
+    mmu: Mmu,
+    act: Activity,
+    threads: Vec<ThreadState>,
+    slab: Vec<InFlight>,
+    free_slots: Vec<u32>,
+    issue_order: VecDeque<u32>,
+    window_used: u32,
+    issue_queue_used: u32,
+    cycle: u64,
+    seq: u64,
+    div_busy_until: u64,
+    /// MMA power-gate state: the cycle the unit is (or will be) ready, or
+    /// `None` while gated off.
+    mma_ready_at: Option<u64>,
+    /// Last cycle an MMA op used the grid (for idle gating).
+    mma_last_use: u64,
+    /// Outstanding L1D miss completion times (load-miss queue).
+    lmq: Vec<u64>,
+    drain_queue: VecDeque<PendingStore>,
+    rr_offset: usize,
+}
+
+impl Core {
+    /// Creates a core in the given configuration.
+    #[must_use]
+    pub fn new(cfg: CoreConfig) -> Self {
+        Core {
+            predictor: BranchPredictor::new(&cfg.branch),
+            mem: MemHierarchy::new(&cfg),
+            mmu: Mmu::new(&cfg),
+            act: Activity::default(),
+            threads: Vec::new(),
+            slab: Vec::new(),
+            free_slots: Vec::new(),
+            issue_order: VecDeque::new(),
+            window_used: 0,
+            issue_queue_used: 0,
+            cycle: 0,
+            seq: 0,
+            div_busy_until: 0,
+            mma_ready_at: None,
+            mma_last_use: 0,
+            lmq: Vec::new(),
+            drain_queue: VecDeque::new(),
+            rr_offset: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this core models.
+    #[must_use]
+    pub fn config(&self) -> &CoreConfig {
+        &self.cfg
+    }
+
+    /// Runs one trace per hardware thread to completion (or `max_cycles`)
+    /// and returns the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces are supplied than the configured SMT mode
+    /// supports, or if no traces are supplied.
+    pub fn run(self, traces: Vec<Trace>, max_cycles: u64) -> SimResult {
+        self.run_observed(traces, max_cycles, |_, _| {})
+    }
+
+    /// Like [`Core::run`], but invokes `observer(cycle, &activity)` after
+    /// every simulated cycle. This is the hook the RTLSim/APEX analogs use
+    /// for per-cycle latch bookkeeping and periodic counter extraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces are supplied than the configured SMT mode
+    /// supports, or if no traces are supplied.
+    pub fn run_observed(
+        mut self,
+        traces: Vec<Trace>,
+        max_cycles: u64,
+        mut observer: impl FnMut(u64, &Activity),
+    ) -> SimResult {
+        assert!(!traces.is_empty(), "at least one thread trace required");
+        assert!(
+            traces.len() <= self.cfg.smt.threads(),
+            "{} traces exceed SMT mode capacity {}",
+            traces.len(),
+            self.cfg.smt.threads()
+        );
+        self.threads = traces
+            .into_iter()
+            .map(|t| ThreadState::new(t.ops))
+            .collect();
+
+        while self.cycle < max_cycles && !self.threads.iter().all(ThreadState::fully_done) {
+            self.step();
+            self.act.cycles = self.cycle;
+            observer(self.cycle, &self.act);
+        }
+        self.act.cycles = self.cycle;
+
+        SimResult {
+            config_name: self.cfg.name.clone(),
+            threads: self.threads.len(),
+            per_thread_completed: self.threads.iter().map(|t| t.completed).collect(),
+            activity: self.act,
+        }
+    }
+
+    fn step(&mut self) {
+        self.cycle += 1;
+        // MMA power-gate bookkeeping: count powered cycles and gate the
+        // unit off after the firmware-selected idle window (§IV-A).
+        if let (Some(ready), Some(mma)) = (self.mma_ready_at, self.cfg.mma) {
+            self.act.mma_powered_cycles += 1;
+            let idle_from = self.mma_last_use.max(ready);
+            if self.cycle > idle_from + u64::from(mma.idle_gate_cycles) {
+                self.mma_ready_at = None;
+            }
+        }
+        self.lmq.retain(|&t| t > self.cycle);
+        self.drain_stores();
+        self.complete();
+        self.advance_execution();
+        self.issue();
+        self.decode_dispatch();
+        self.fetch();
+        self.act.window_occupancy_acc += u64::from(self.window_used);
+        self.rr_offset = self.rr_offset.wrapping_add(1);
+    }
+
+    // ---- completion ----
+
+    fn complete(&mut self) {
+        let mut budget = self.cfg.completion_width;
+        let n = self.threads.len();
+        let mut progressed = true;
+        while budget > 0 && progressed {
+            progressed = false;
+            for k in 0..n {
+                let tid = (k + self.rr_offset) % n;
+                if budget == 0 {
+                    break;
+                }
+                let Some(&slot) = self.threads[tid].rob.front() else {
+                    continue;
+                };
+                if self.slab[slot as usize].state != UopState::Done {
+                    continue;
+                }
+                self.retire(tid, slot);
+                budget -= 1;
+                progressed = true;
+            }
+        }
+    }
+
+    fn retire(&mut self, tid: usize, slot: u32) {
+        let e = &mut self.slab[slot as usize];
+        debug_assert!(e.active);
+        e.active = false;
+        let op = e.op;
+        let seq = e.seq;
+        self.threads[tid].rob.pop_front();
+        self.free_slots.push(slot);
+        self.window_used -= 1;
+        self.threads[tid].completed += 1;
+        self.act.completed += 1;
+        self.act.completion_slots += 1;
+        if op.dest().is_some() {
+            self.act.regfile_writes += 1;
+        }
+
+        match op.class {
+            OpClass::Load => {
+                self.threads[tid].lq_used -= 1;
+            }
+            OpClass::Store => {
+                let m = op.mem.expect("store has mem");
+                let owns_sq = u8::from(self.slab[slot as usize].owns_sq);
+                // Store gathering: merge with the tail of the drain queue
+                // when adjacent (POWER10), retiring up to two SQ entries
+                // per cycle worth of work in one drain slot.
+                let merged = self.cfg.store_merge
+                    && self.drain_queue.back().is_some_and(|p| {
+                        p.tid == tid as u8
+                            && p.addr + u64::from(p.size) == m.addr
+                            && u32::from(p.size) + u32::from(m.size) <= 64
+                    });
+                if merged {
+                    let back = self.drain_queue.back_mut().expect("checked above");
+                    back.size += m.size;
+                    back.sq_entries += owns_sq;
+                    self.act.store_merges += 1;
+                } else {
+                    self.drain_queue.push_back(PendingStore {
+                        tid: tid as u8,
+                        addr: m.addr,
+                        size: m.size,
+                        seq,
+                        sq_entries: owns_sq,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn drain_stores(&mut self) {
+        for _ in 0..self.cfg.store_drain_per_cycle {
+            let Some(p) = self.drain_queue.pop_front() else {
+                break;
+            };
+            let tid = p.tid as usize;
+            // EA-tagged L1: translate only on L1 miss; RA-tagged: the
+            // translation already happened at issue.
+            let (_lat, lvl) = self.mem.access_data(p.addr, &mut self.act);
+            if self.cfg.ea_tagged_l1 && lvl != crate::cache::HitLevel::L1 {
+                self.mmu
+                    .translate(p.addr, TranslateSide::Data, &mut self.act);
+            }
+            self.threads[tid].sq_used = self.threads[tid]
+                .sq_used
+                .saturating_sub(u32::from(p.sq_entries));
+            // Remove from the forwarding window.
+            let sw = &mut self.threads[tid].store_window;
+            if let Some(pos) = sw.iter().position(|&(s, ..)| s == p.seq) {
+                sw.remove(pos);
+            }
+        }
+    }
+
+    // ---- execution progress ----
+
+    fn advance_execution(&mut self) {
+        let cycle = self.cycle;
+        let mut resolved: Vec<(usize, u64)> = Vec::new(); // (tid, fetch_cycle)
+        for e in &mut self.slab {
+            if !e.active {
+                continue;
+            }
+            if let UopState::Executing { done_at } = e.state {
+                if done_at <= cycle {
+                    e.state = UopState::Done;
+                    if e.mispredicted {
+                        resolved.push((usize::from(e.tid), e.fetch_cycle));
+                    }
+                }
+            }
+        }
+        for (tid, fetch_cycle) in resolved {
+            let t = &mut self.threads[tid];
+            // Fetch stops at the first mispredicted branch, so at most one
+            // is in flight per thread; resolving it unblocks fetch.
+            t.mispredict_pending = None;
+            let penalty = u64::from(self.predictor.mispredict_penalty());
+            t.fetch_stall_until = t.fetch_stall_until.max(self.cycle + penalty);
+            self.act.branch_mispredicts += 1;
+            // Estimate of wrong-path work the real front end performed
+            // between fetching the branch and the redirect completing.
+            // The fetch-side run-ahead is bounded: once the front end backs
+            // up (e.g. behind a long cache miss) wrong-path fetch stops, so
+            // the window is capped at a fixed horizon.
+            let run_ahead = (self.cycle - fetch_cycle).min(16);
+            let window = run_ahead + penalty;
+            self.act.wrong_path_fetched += window * u64::from(self.cfg.fetch_width) / 2;
+            self.act.flushed += window * u64::from(self.cfg.fetch_width) / 2;
+        }
+    }
+
+    // ---- issue ----
+
+    fn dep_ready(&self, dep: (u32, u64)) -> bool {
+        let (slot, seq) = dep;
+        if slot == NO_SLOT {
+            return true;
+        }
+        let e = &self.slab[slot as usize];
+        !e.active || e.seq != seq || e.state == UopState::Done
+    }
+
+    fn deps_ready(&self, slot: u32, ignore: Option<u32>) -> bool {
+        let e = &self.slab[slot as usize];
+        e.deps
+            .iter()
+            .all(|&d| d.0 == NO_SLOT || Some(d.0) == ignore || self.dep_ready(d))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn issue(&mut self) {
+        let mut int_left = self.cfg.int_slices;
+        let mut branch_left = self.cfg.branch_slices;
+        let mut vsx_left = self.cfg.vsx_units;
+        let mut load_left = self.cfg.load_ports;
+        let mut store_left = self.cfg.store_ports;
+        let mut mma_lanes_left = self.cfg.mma.map_or(0, |m| m.grid_lanes);
+        let mut mma_move_left = 1u32;
+        let mut issued_any = false;
+        let mut mma_active = false;
+
+        // Compact the issue-order queue lazily.
+        self.issue_order.retain(|&s| {
+            let e = &self.slab[s as usize];
+            e.active && e.state == UopState::Waiting
+        });
+
+        let reach = self.cfg.issue_lookahead.max(1) as usize;
+        let order: Vec<u32> = self.issue_order.iter().take(reach).copied().collect();
+        for slot in order {
+            let (class, tid) = {
+                let e = &self.slab[slot as usize];
+                if !e.active || e.state != UopState::Waiting {
+                    continue;
+                }
+                (e.op.class, usize::from(e.tid))
+            };
+            if !self.deps_ready(slot, None) {
+                continue;
+            }
+
+            let done_at = match class {
+                OpClass::Hint => {
+                    // The architected MMA wake-up hint powers the unit on
+                    // ahead of use, hiding the wake latency (§IV-A).
+                    if self.cfg.mma.is_some() {
+                        self.power_mma_on();
+                    }
+                    Some(self.cycle)
+                }
+                OpClass::Nop => Some(self.cycle), // complete immediately
+                OpClass::IntAlu | OpClass::MoveSpr => {
+                    if int_left > 0 {
+                        int_left -= 1;
+                        Some(self.cycle + 1)
+                    } else {
+                        None
+                    }
+                }
+                OpClass::IntMul => {
+                    if int_left > 0 {
+                        int_left -= 1;
+                        Some(self.cycle + u64::from(self.cfg.mul_latency))
+                    } else {
+                        None
+                    }
+                }
+                OpClass::IntDiv => {
+                    if int_left > 0 && self.div_busy_until <= self.cycle {
+                        int_left -= 1;
+                        self.div_busy_until = self.cycle + u64::from(self.cfg.div_latency);
+                        Some(self.cycle + u64::from(self.cfg.div_latency))
+                    } else {
+                        None
+                    }
+                }
+                OpClass::Branch => {
+                    if branch_left > 0 {
+                        branch_left -= 1;
+                        Some(self.cycle + 1)
+                    } else {
+                        None
+                    }
+                }
+                OpClass::VsxSimple => {
+                    if vsx_left > 0 {
+                        vsx_left -= 1;
+                        Some(self.cycle + 2)
+                    } else {
+                        None
+                    }
+                }
+                OpClass::VsxFp => {
+                    if vsx_left > 0 {
+                        vsx_left -= 1;
+                        Some(self.cycle + u64::from(self.cfg.vsx_fp_latency))
+                    } else {
+                        None
+                    }
+                }
+                OpClass::Mma(kind) => {
+                    let lanes = match kind {
+                        MmaKind::F64 => 8,
+                        MmaKind::F32 | MmaKind::Bf16 | MmaKind::I8 => 16,
+                    };
+                    let mma = self.cfg.mma.expect("mma op requires mma unit");
+                    if !self.mma_powered_on() {
+                        // Demand wake: the op waits out the power-on.
+                        self.power_mma_on();
+                        self.act.mma_wake_stall_cycles += 1;
+                        None
+                    } else if mma_lanes_left >= lanes {
+                        mma_lanes_left -= lanes;
+                        mma_active = true;
+                        self.mma_last_use = self.cycle;
+                        // Back-to-back accumulator chaining is short; the
+                        // full result latency applies to non-acc consumers
+                        // (xxmfacc), modeled via the MmaMove latency below.
+                        Some(self.cycle + u64::from(mma.acc_chain_latency))
+                    } else {
+                        None
+                    }
+                }
+                OpClass::MmaMove => {
+                    if self.cfg.mma.is_some() && !self.mma_powered_on() {
+                        self.power_mma_on();
+                        self.act.mma_wake_stall_cycles += 1;
+                        None
+                    } else if mma_move_left > 0 {
+                        mma_move_left -= 1;
+                        let lat = self.cfg.mma.map_or(2, |m| u64::from(m.result_latency));
+                        self.mma_last_use = self.cycle;
+                        Some(self.cycle + lat)
+                    } else {
+                        None
+                    }
+                }
+                OpClass::Load => {
+                    if load_left > 0 && (self.lmq.len() as u32) < self.cfg.load_miss_queue {
+                        load_left -= 1;
+                        Some(self.issue_load(slot, tid))
+                    } else {
+                        None
+                    }
+                }
+                OpClass::Store => {
+                    if store_left > 0 {
+                        store_left -= 1;
+                        Some(self.issue_store(slot, tid))
+                    } else {
+                        None
+                    }
+                }
+            };
+
+            let Some(done_at) = done_at else { continue };
+            issued_any = true;
+            self.start_execution(slot, done_at);
+
+            // Fused pair: if the partner's other deps are ready, execute it
+            // together with the head (zero-latency dependent execution).
+            let pair = self.slab[slot as usize].pair;
+            if pair != NO_SLOT {
+                let p = &self.slab[pair as usize];
+                if p.active && p.state == UopState::Waiting && self.deps_ready(pair, Some(slot)) {
+                    let pair_class = self.slab[pair as usize].op.class;
+                    let pair_done = match pair_class {
+                        // A fused dependent op finishes with its head.
+                        OpClass::Store => {
+                            // Second of a fused store pair: shares the
+                            // head's address-generation; mark executed.
+                            let seq = self.slab[pair as usize].seq;
+                            if let Some(s) = self.threads[tid]
+                                .store_window
+                                .iter_mut()
+                                .find(|s| s.0 == seq)
+                            {
+                                s.3 = true;
+                            }
+                            self.act.stores += 1;
+                            done_at
+                        }
+                        OpClass::Branch => {
+                            self.act.branch_ops += 1;
+                            done_at
+                        }
+                        _ => {
+                            self.act.alu_ops += 1;
+                            done_at
+                        }
+                    };
+                    self.start_execution_quiet(pair, pair_done);
+                    self.act.issued += 1;
+                }
+            }
+        }
+
+        if issued_any {
+            self.act.active_cycles += 1;
+        }
+        if mma_active {
+            self.act.mma_active_cycles += 1;
+        }
+    }
+
+    /// Whether the MMA unit is powered and ready this cycle.
+    fn mma_powered_on(&self) -> bool {
+        self.mma_ready_at.is_some_and(|r| r <= self.cycle)
+    }
+
+    /// Opens the MMA power gate (idempotent while powering on).
+    fn power_mma_on(&mut self) {
+        if self.mma_ready_at.is_none() {
+            let wake = self.cfg.mma.map_or(0, |m| u64::from(m.wake_latency));
+            self.mma_ready_at = Some(self.cycle + wake);
+        }
+    }
+
+    fn start_execution(&mut self, slot: u32, done_at: u64) {
+        let e = &mut self.slab[slot as usize];
+        e.state = UopState::Executing { done_at };
+        let srcs = e.op.sources().count() as u64;
+        let class = e.op.class;
+        let flops = u64::from(e.op.flops);
+        // Issue-queue entry is freed once the op issues (reservation
+        // stations and issue queues alike hold ops only until issue).
+        if !e.is_pair_second {
+            self.issue_queue_used = self.issue_queue_used.saturating_sub(1);
+        }
+        self.act.issued += 1;
+        self.act.regfile_reads += srcs;
+        match class {
+            OpClass::IntAlu | OpClass::MoveSpr => self.act.alu_ops += 1,
+            OpClass::IntMul => self.act.mul_ops += 1,
+            OpClass::IntDiv => self.act.div_ops += 1,
+            OpClass::Branch => self.act.branch_ops += 1,
+            OpClass::VsxSimple => self.act.vsx_simple_ops += 1,
+            OpClass::VsxFp => {
+                self.act.vsx_fp_ops += 1;
+                self.act.vsx_flops += flops;
+            }
+            OpClass::Mma(_) => {
+                self.act.mma_ops += 1;
+                self.act.mma_flops += flops;
+            }
+            OpClass::MmaMove => self.act.mma_moves += 1,
+            OpClass::Load => self.act.loads += 1,
+            OpClass::Store => self.act.stores += 1,
+            OpClass::Nop | OpClass::Hint => {}
+        }
+    }
+
+    /// Start execution without re-counting regfile reads/unit ops (used for
+    /// the fused partner whose counting is handled at the call site).
+    fn start_execution_quiet(&mut self, slot: u32, done_at: u64) {
+        let e = &mut self.slab[slot as usize];
+        e.state = UopState::Executing { done_at };
+        if !e.is_pair_second {
+            self.issue_queue_used = self.issue_queue_used.saturating_sub(1);
+        }
+    }
+
+    fn issue_load(&mut self, slot: u32, tid: usize) -> u64 {
+        let op = self.slab[slot as usize].op;
+        let m = op.mem.expect("load has mem");
+        let seq = self.slab[slot as usize].seq;
+
+        // Translation policy: RA-tagged L1 translates on every access.
+        let mut extra = 0u64;
+        if !self.cfg.ea_tagged_l1 {
+            extra += u64::from(
+                self.mmu
+                    .translate(m.addr, TranslateSide::Data, &mut self.act),
+            );
+        }
+
+        // Store-to-load forwarding from older stores in this thread.
+        let mut forward = false;
+        let mut conflict_unready = false;
+        for &(sseq, saddr, ssize, sexec) in self.threads[tid].store_window.iter().rev() {
+            if sseq >= seq {
+                continue;
+            }
+            let s_end = saddr + u64::from(ssize);
+            let l_end = m.addr + u64::from(m.size);
+            let overlap = saddr < l_end && m.addr < s_end;
+            if !overlap {
+                continue;
+            }
+            let contains = saddr <= m.addr && l_end <= s_end;
+            if sexec && contains {
+                forward = true;
+            } else {
+                conflict_unready = true;
+            }
+            break; // youngest older overlapping store decides
+        }
+
+        if forward {
+            self.act.store_forwards += 1;
+            return self.cycle + u64::from(self.cfg.l1d.latency) + extra;
+        }
+        if conflict_unready {
+            // Conservative: wait a few cycles and replay through the cache.
+            extra += 4;
+        }
+
+        let (lat, lvl) = self.mem.access_data(m.addr, &mut self.act);
+        let missed_l1 = lvl != crate::cache::HitLevel::L1;
+        if missed_l1 {
+            if self.cfg.ea_tagged_l1 {
+                extra += u64::from(
+                    self.mmu
+                        .translate(m.addr, TranslateSide::Data, &mut self.act),
+                );
+            }
+            let done = self.cycle + u64::from(lat) + extra;
+            self.lmq.push(done);
+            done
+        } else {
+            self.cycle + u64::from(lat) + extra
+        }
+    }
+
+    fn issue_store(&mut self, slot: u32, tid: usize) -> u64 {
+        let op = self.slab[slot as usize].op;
+        let m = op.mem.expect("store has mem");
+        let seq = self.slab[slot as usize].seq;
+        let mut extra = 0u64;
+        if !self.cfg.ea_tagged_l1 {
+            extra += u64::from(
+                self.mmu
+                    .translate(m.addr, TranslateSide::Data, &mut self.act),
+            );
+        }
+        // Address generation done; data considered available one cycle
+        // later. The cache write happens post-completion at drain.
+        if let Some(s) = self.threads[tid]
+            .store_window
+            .iter_mut()
+            .find(|s| s.0 == seq)
+        {
+            s.3 = true;
+        }
+        self.cycle + 1 + extra
+    }
+
+    // ---- decode + dispatch ----
+
+    fn decode_dispatch(&mut self) {
+        let mut budget = self.cfg.decode_width;
+        let n = self.threads.len();
+        let mut blocked = vec![false; n];
+        let mut progressed = true;
+        while budget > 0 && progressed {
+            progressed = false;
+            for k in 0..n {
+                if budget == 0 {
+                    break;
+                }
+                let tid = (k + self.rr_offset) % n;
+                if blocked[tid] || self.threads[tid].fetch_buffer.is_empty() {
+                    continue;
+                }
+                match self.try_dispatch_one(tid) {
+                    DispatchOutcome::Dispatched { fused } => {
+                        budget -= 1;
+                        if fused {
+                            self.act.fused_pairs += 1;
+                        }
+                        progressed = true;
+                    }
+                    DispatchOutcome::Blocked => {
+                        blocked[tid] = true;
+                        self.act.dispatch_stall_cycles += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn try_dispatch_one(&mut self, tid: usize) -> DispatchOutcome {
+        // Peek head (and successor for fusion).
+        let (head_op, fuse) = {
+            let t = &self.threads[tid];
+            let head = t.fetch_buffer.front().expect("caller checked");
+            let fuse = if self.cfg.fusion && t.fetch_buffer.len() >= 2 {
+                let second = &t.fetch_buffer[1];
+                fusion::classify_pair(&head.op, &second.op)
+            } else {
+                None
+            };
+            (head.op, fuse)
+        };
+
+        let pair_count: u32 = if fuse.is_some() { 2 } else { 1 };
+        // Resource checks.
+        if self.window_used + pair_count > self.cfg.itable_entries {
+            return DispatchOutcome::Blocked;
+        }
+        let iq_needed = match fuse {
+            Some(k) if k.single_issue_entry() => 1,
+            Some(_) => 2,
+            None => 1,
+        };
+        if self.issue_queue_used + iq_needed > self.cfg.issue_queue_entries {
+            return DispatchOutcome::Blocked;
+        }
+        // LQ/SQ checks for head (+ partner).
+        let needs_lq = |op: &DynOp| u32::from(op.is_load());
+        let needs_sq = |op: &DynOp| u32::from(op.is_store());
+        let second_op = if fuse.is_some() {
+            Some(self.threads[tid].fetch_buffer[1].op)
+        } else {
+            None
+        };
+        let lq_need = needs_lq(&head_op) + second_op.as_ref().map_or(0, needs_lq);
+        let mut sq_need = needs_sq(&head_op) + second_op.as_ref().map_or(0, needs_sq);
+        if fuse == Some(FusionKind::StorePair) {
+            if let Some(second) = &second_op {
+                if fusion::store_pair_single_sq_entry(&head_op, second) {
+                    sq_need = 1;
+                }
+            }
+        }
+        let t = &self.threads[tid];
+        if t.lq_used + lq_need > self.cfg.load_queue_per_thread()
+            || t.sq_used + sq_need > self.cfg.store_queue_per_thread()
+        {
+            return DispatchOutcome::Blocked;
+        }
+
+        // Commit: pop and install.
+        let head = self.threads[tid].fetch_buffer.pop_front().expect("checked");
+        let head_slot = self.install(tid, head, false, true);
+        self.threads[tid].lq_used += lq_need;
+        self.threads[tid].sq_used += sq_need;
+        if let Some(kind) = fuse {
+            let second_owns_sq = !(kind == FusionKind::StorePair
+                && second_op
+                    .as_ref()
+                    .is_some_and(|s| fusion::store_pair_single_sq_entry(&head_op, s)));
+            let second = self.threads[tid].fetch_buffer.pop_front().expect("checked");
+            let second_slot = self.install(tid, second, kind.single_issue_entry(), second_owns_sq);
+            self.slab[head_slot as usize].pair = second_slot;
+            self.act.decoded += 2;
+            self.act.dispatched += 2;
+            DispatchOutcome::Dispatched { fused: true }
+        } else {
+            self.act.decoded += 1;
+            self.act.dispatched += 1;
+            DispatchOutcome::Dispatched { fused: false }
+        }
+    }
+
+    fn install(&mut self, tid: usize, f: FetchedOp, is_pair_second: bool, owns_sq: bool) -> u32 {
+        self.seq += 1;
+        let seq = self.seq;
+        let mut deps = [(NO_SLOT, 0u64); MAX_SRCS];
+        {
+            let t = &self.threads[tid];
+            for (i, src) in f.op.sources().enumerate() {
+                let (slot, pseq) = t.rename[usize::from(src.packed())];
+                if slot != NO_SLOT {
+                    let e = &self.slab[slot as usize];
+                    if e.active && e.seq == pseq {
+                        deps[i] = (slot, pseq);
+                    }
+                }
+            }
+        }
+        let entry = InFlight {
+            op: f.op,
+            tid: tid as u8,
+            seq,
+            fetch_cycle: f.fetch_cycle,
+            state: UopState::Waiting,
+            deps,
+            mispredicted: f.mispredicted,
+            pair: NO_SLOT,
+            is_pair_second,
+            owns_sq,
+            active: true,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(s) => {
+                self.slab[s as usize] = entry;
+                s
+            }
+            None => {
+                self.slab.push(entry);
+                (self.slab.len() - 1) as u32
+            }
+        };
+        // Update rename map for destinations.
+        let t = &mut self.threads[tid];
+        if let Some(d) = f.op.dest() {
+            t.rename[usize::from(d.packed())] = (slot, seq);
+        }
+        if let Some(d) = f.op.dest2() {
+            t.rename[usize::from(d.packed())] = (slot, seq);
+        }
+        t.rob.push_back(slot);
+        if f.op.is_store() {
+            let m = f.op.mem.expect("store has mem");
+            t.store_window.push_back((seq, m.addr, m.size, false));
+        }
+        self.window_used += 1;
+        if !is_pair_second {
+            self.issue_queue_used += 1;
+        }
+        self.issue_order.push_back(slot);
+        slot
+    }
+
+    // ---- fetch ----
+
+    fn fetch(&mut self) {
+        let n = self.threads.len();
+        match self.cfg.fetch_policy {
+            crate::config::FetchPolicy::RoundRobin => {
+                for k in 0..n {
+                    let tid = (k + self.rr_offset) % n;
+                    self.fetch_thread(tid);
+                }
+            }
+            crate::config::FetchPolicy::ICount => {
+                // Fewest in-flight (fetch buffer + ROB) first.
+                let mut order: Vec<usize> = (0..n).collect();
+                order.sort_by_key(|&t| {
+                    self.threads[t].fetch_buffer.len() + self.threads[t].rob.len()
+                });
+                for tid in order {
+                    self.fetch_thread(tid);
+                }
+            }
+        }
+    }
+
+    fn fetch_thread(&mut self, tid: usize) {
+        {
+            let t = &self.threads[tid];
+            if t.fetch_done() || t.mispredict_pending.is_some() || t.fetch_stall_until > self.cycle
+            {
+                return;
+            }
+            if t.fetch_buffer.len() >= self.cfg.fetch_buffer as usize {
+                return;
+            }
+        }
+
+        // One I-cache access per fetch group.
+        let pc = self.threads[tid].ops[self.threads[tid].fetch_idx].pc;
+        if !self.cfg.ea_tagged_l1 {
+            let extra = self.mmu.translate(pc, TranslateSide::Inst, &mut self.act);
+            if extra > 0 {
+                self.act.itlb_stall_cycles += u64::from(extra);
+                self.threads[tid].fetch_stall_until = self.cycle + u64::from(extra);
+                return;
+            }
+        }
+        let (lat, hit) = self.mem.access_inst(pc, &mut self.act);
+        if !hit {
+            if self.cfg.ea_tagged_l1 {
+                let extra = self.mmu.translate(pc, TranslateSide::Inst, &mut self.act);
+                self.act.itlb_stall_cycles += u64::from(extra);
+                self.threads[tid].fetch_stall_until =
+                    self.cycle + u64::from(lat) + u64::from(extra);
+            } else {
+                self.threads[tid].fetch_stall_until = self.cycle + u64::from(lat);
+            }
+            return;
+        }
+
+        let mut slots = self.cfg.fetch_width;
+        while slots > 0 {
+            let t = &self.threads[tid];
+            if t.fetch_done() || t.fetch_buffer.len() >= self.cfg.fetch_buffer as usize {
+                break;
+            }
+            let op = t.ops[t.fetch_idx];
+            let cost = if op.prefixed { 2 } else { 1 };
+            if cost > slots {
+                break;
+            }
+            slots -= cost;
+            self.threads[tid].fetch_idx += 1;
+            self.act.fetched += 1;
+
+            let mut mispredicted = false;
+            if let Some(info) = op.branch {
+                let fallthrough = op.pc + 4;
+                let pred = self
+                    .predictor
+                    .predict_and_train(tid, op.pc, &info, fallthrough);
+                if pred.predicted {
+                    self.act.branch_predictions += 1;
+                }
+                mispredicted = !pred.correct;
+            }
+            let fetched = FetchedOp {
+                op,
+                mispredicted,
+                fetch_cycle: self.cycle,
+            };
+            let is_taken_branch = op.branch.is_some_and(|b| b.taken);
+            self.threads[tid].fetch_buffer.push_back(fetched);
+            if mispredicted {
+                // Fetch stalls here until the branch resolves; at most one
+                // mispredicted branch is in flight per thread, so the value
+                // is just a flag.
+                self.threads[tid].mispredict_pending = Some(1);
+                break;
+            }
+            if is_taken_branch {
+                break; // cannot fetch past a taken branch this cycle
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DispatchOutcome {
+    Dispatched { fused: bool },
+    Blocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SmtMode;
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+
+    /// An L1-contained counted loop of `iters` iterations with `body_alus`
+    /// independent adds per iteration.
+    fn alu_loop_trace(iters: i64, body_alus: u16) -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), iters);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        for k in 0..body_alus {
+            let r = 5 + (k % 20);
+            b.addi(Reg::gpr(r), Reg::gpr(r), 1);
+        }
+        b.bdnz(top);
+        let prog = b.build();
+        Machine::new().run(&prog, 10_000_000).expect("loop runs")
+    }
+
+    fn run_cfg(cfg: CoreConfig, trace: Trace) -> SimResult {
+        Core::new(cfg).run(vec![trace], 10_000_000)
+    }
+
+    #[test]
+    fn all_ops_complete() {
+        let t = alu_loop_trace(100, 8);
+        let n = t.len() as u64;
+        let r = run_cfg(CoreConfig::power10(), t);
+        assert_eq!(r.activity.completed, n);
+        assert_eq!(r.per_thread_completed, vec![n]);
+    }
+
+    #[test]
+    fn ipc_is_superscalar_on_independent_alus() {
+        let t = alu_loop_trace(2000, 8);
+        let r = run_cfg(CoreConfig::power10(), t);
+        assert!(
+            r.ipc() > 2.0,
+            "independent ALU loop should run superscalar, ipc = {}",
+            r.ipc()
+        );
+        assert!(r.ipc() <= 8.0);
+    }
+
+    #[test]
+    fn dependent_chain_is_serialized() {
+        // One long dependent chain: IPC near 1 even on a wide core
+        // (fusion pairs adjacent dependent adds, capping at ~2).
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), 2000);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        for _ in 0..8 {
+            b.addi(Reg::gpr(5), Reg::gpr(5), 1);
+        }
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 1_000_000).unwrap();
+        let mut cfg = CoreConfig::power10();
+        cfg.fusion = false;
+        let r = run_cfg(cfg, t);
+        assert!(
+            r.ipc() < 1.6,
+            "dependent chain must serialize, ipc = {}",
+            r.ipc()
+        );
+    }
+
+    #[test]
+    fn power10_outperforms_power9_on_wide_loop() {
+        let t = alu_loop_trace(3000, 10);
+        let r9 = run_cfg(CoreConfig::power9(), t.clone());
+        let r10 = run_cfg(CoreConfig::power10(), t);
+        assert!(
+            r10.ipc() > r9.ipc(),
+            "P10 ipc {} must beat P9 ipc {}",
+            r10.ipc(),
+            r9.ipc()
+        );
+    }
+
+    #[test]
+    fn fusion_detects_dependent_pairs() {
+        // Adjacent dependent adds (fusible) plus cmp+branch pairs.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), 500);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.addi(Reg::gpr(5), Reg::gpr(5), 1);
+        b.add(Reg::gpr(6), Reg::gpr(5), Reg::gpr(5)); // depends on previous
+        b.cmpi(Reg::cr(0), Reg::gpr(6), 0);
+        let skip = b.label();
+        b.bc(p10_isa::Cond::Lt, Reg::cr(0), skip); // cmp+branch pair
+        b.bind(skip);
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 1_000_000).unwrap();
+        let r10 = run_cfg(CoreConfig::power10(), t.clone());
+        assert!(r10.activity.fused_pairs > 500, "P10 must fuse pairs");
+        let r9 = run_cfg(CoreConfig::power9(), t);
+        assert_eq!(r9.activity.fused_pairs, 0, "P9 has no fusion");
+    }
+
+    #[test]
+    fn ea_tagging_cuts_translations() {
+        let t = alu_loop_trace(1000, 6);
+        let p9 = run_cfg(CoreConfig::power9(), t.clone());
+        let p10 = run_cfg(CoreConfig::power10(), t);
+        // P9 translates on every fetch group; P10 only on L1 misses.
+        assert!(
+            p10.activity.ierat_lookups < p9.activity.ierat_lookups / 10,
+            "EA tagging must slash I-side translations: p9={} p10={}",
+            p9.activity.ierat_lookups,
+            p10.activity.ierat_lookups
+        );
+    }
+
+    #[test]
+    fn loads_and_stores_flow_through_lsu() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(1), 0x10_0000);
+        b.li(Reg::gpr(4), 200);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.std(Reg::gpr(5), Reg::gpr(1), 0);
+        b.std(Reg::gpr(5), Reg::gpr(1), 8);
+        b.ld(Reg::gpr(6), Reg::gpr(1), 0);
+        b.addi(Reg::gpr(1), Reg::gpr(1), 64);
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 1_000_000).unwrap();
+        let r = run_cfg(CoreConfig::power10(), t);
+        assert_eq!(r.activity.stores, 400);
+        assert_eq!(r.activity.loads, 200);
+        assert!(r.activity.store_merges > 0, "adjacent stores should merge");
+        assert!(r.activity.l1d_accesses > 0);
+    }
+
+    #[test]
+    fn store_forwarding_happens() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(1), 0x10_0000);
+        b.li(Reg::gpr(4), 100);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.std(Reg::gpr(5), Reg::gpr(1), 0);
+        b.ld(Reg::gpr(6), Reg::gpr(1), 0); // same address: forward
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 1_000_000).unwrap();
+        let r = run_cfg(CoreConfig::power10(), t);
+        assert!(
+            r.activity.store_forwards > 50,
+            "same-address load must forward, got {}",
+            r.activity.store_forwards
+        );
+    }
+
+    #[test]
+    fn mispredicts_counted_on_data_dependent_branches() {
+        // Branch on a pseudo-random bit: unpredictable.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(2), 0x12345);
+        b.li(Reg::gpr(4), 2000);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        // xorshift-ish scramble
+        b.push(Inst::Srdi {
+            rt: Reg::gpr(3),
+            ra: Reg::gpr(2),
+            sh: 1,
+        });
+        b.push(Inst::Xor {
+            rt: Reg::gpr(2),
+            ra: Reg::gpr(3),
+            rb: Reg::gpr(2),
+        });
+        b.push(Inst::Sldi {
+            rt: Reg::gpr(3),
+            ra: Reg::gpr(2),
+            sh: 3,
+        });
+        b.push(Inst::Xor {
+            rt: Reg::gpr(2),
+            ra: Reg::gpr(3),
+            rb: Reg::gpr(2),
+        });
+        b.push(Inst::And {
+            rt: Reg::gpr(5),
+            ra: Reg::gpr(2),
+            rb: Reg::gpr(6),
+        });
+        b.cmpi(Reg::cr(0), Reg::gpr(5), 0);
+        let skip = b.label();
+        b.bc(p10_isa::Cond::Eq, Reg::cr(0), skip);
+        b.addi(Reg::gpr(7), Reg::gpr(7), 1);
+        b.bind(skip);
+        b.bdnz(top);
+        let mut m = Machine::new();
+        m.set_gpr(6, 4); // mask bit 2
+        let t = m.run(&b.build(), 1_000_000).unwrap();
+        let r = run_cfg(CoreConfig::power10(), t);
+        assert!(
+            r.activity.branch_mispredicts > 100,
+            "pseudo-random branch must mispredict, got {}",
+            r.activity.branch_mispredicts
+        );
+        assert!(r.activity.wrong_path_fetched > 0);
+        assert!(r.activity.flushed > 0);
+    }
+
+    #[test]
+    fn p10_flushes_less_than_p9() {
+        // Long-period pattern (period 24) that exceeds POWER9's local
+        // history window but not POWER10's.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), 12_000);
+        b.mtctr(Reg::gpr(4));
+        b.li(Reg::gpr(2), 0);
+        let top = b.bind_label();
+        b.addi(Reg::gpr(2), Reg::gpr(2), 1);
+        b.cmpi(Reg::cr(0), Reg::gpr(2), 24);
+        let skip = b.label();
+        b.bc(p10_isa::Cond::Ne, Reg::cr(0), skip);
+        b.li(Reg::gpr(2), 0);
+        b.bind(skip);
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 10_000_000).unwrap();
+        let r9 = run_cfg(CoreConfig::power9(), t.clone());
+        let r10 = run_cfg(CoreConfig::power10(), t);
+        assert!(
+            r10.activity.branch_mispredicts < r9.activity.branch_mispredicts / 2,
+            "P10 long-history predictor must capture the period-24 pattern: p9={} p10={}",
+            r9.activity.branch_mispredicts,
+            r10.activity.branch_mispredicts
+        );
+        assert!(
+            r10.activity.wrong_path_fetched < r9.activity.wrong_path_fetched,
+            "P10 must waste fewer fetches"
+        );
+    }
+
+    #[test]
+    fn smt2_two_threads_both_complete() {
+        let t1 = alu_loop_trace(500, 6);
+        let t2 = alu_loop_trace(700, 4);
+        let (n1, n2) = (t1.len() as u64, t2.len() as u64);
+        let mut cfg = CoreConfig::power10();
+        cfg.smt = SmtMode::Smt2;
+        let r = Core::new(cfg).run(vec![t1, t2], 10_000_000);
+        assert_eq!(r.per_thread_completed, vec![n1, n2]);
+        assert_eq!(r.activity.completed, n1 + n2);
+    }
+
+    #[test]
+    fn smt2_throughput_beats_st_on_stall_heavy_code() {
+        // Memory-latency-bound pointer chase: SMT2 overlaps stalls.
+        let chase = |seed: u64| -> Trace {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::gpr(1), 0x20_0000 + (seed * 0x4_0000) as i64);
+            b.li(Reg::gpr(4), 300);
+            b.mtctr(Reg::gpr(4));
+            let top = b.bind_label();
+            b.ld(Reg::gpr(2), Reg::gpr(1), 0);
+            b.add(Reg::gpr(3), Reg::gpr(3), Reg::gpr(2));
+            b.addi(Reg::gpr(1), Reg::gpr(1), 4096); // new page/line every iter
+            b.bdnz(top);
+            Machine::new().run(&b.build(), 1_000_000).unwrap()
+        };
+        let mut st_cfg = CoreConfig::power10();
+        st_cfg.prefetch_streams = 0;
+        let st = Core::new(st_cfg.clone()).run(vec![chase(0)], 10_000_000);
+        let mut smt_cfg = st_cfg;
+        smt_cfg.smt = SmtMode::Smt2;
+        let smt = Core::new(smt_cfg).run(vec![chase(0), chase(1)], 10_000_000);
+        assert!(
+            smt.ipc() > st.ipc() * 1.3,
+            "SMT2 must overlap stalls: st={} smt={}",
+            st.ipc(),
+            smt.ipc()
+        );
+    }
+
+    #[test]
+    fn mma_kernel_executes_on_grid() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(1), 0x10_0000);
+        b.li(Reg::gpr(4), 200);
+        b.mtctr(Reg::gpr(4));
+        b.push(Inst::Xxsetaccz { at: Reg::acc(0) });
+        b.push(Inst::Xxsetaccz { at: Reg::acc(1) });
+        let top = b.bind_label();
+        b.lxv(Reg::vsr(34), Reg::gpr(1), 0);
+        b.lxv(Reg::vsr(35), Reg::gpr(1), 16);
+        b.lxv(Reg::vsr(36), Reg::gpr(1), 32);
+        b.push(Inst::Xvf64gerpp {
+            at: Reg::acc(0),
+            xa: Reg::vsr(34),
+            xb: Reg::vsr(36),
+        });
+        b.push(Inst::Xvf64gerpp {
+            at: Reg::acc(1),
+            xa: Reg::vsr(34),
+            xb: Reg::vsr(36),
+        });
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 1_000_000).unwrap();
+        let r = run_cfg(CoreConfig::power10(), t);
+        assert_eq!(r.activity.mma_ops, 400);
+        assert_eq!(r.activity.mma_flops, 400 * 16);
+        assert!(r.activity.mma_active_cycles > 0);
+        assert!(r.activity.flops_per_cycle() > 4.0);
+    }
+
+    #[test]
+    fn max_cycles_bounds_runaway() {
+        let t = alu_loop_trace(100_000, 4);
+        let r = Core::new(CoreConfig::power10()).run(vec![t], 50);
+        assert_eq!(r.activity.cycles, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed SMT mode capacity")]
+    fn too_many_threads_panics() {
+        let t = alu_loop_trace(10, 1);
+        let cfg = CoreConfig::power10(); // ST mode
+        let _ = Core::new(cfg).run(vec![t.clone(), t], 100);
+    }
+
+    #[test]
+    fn window_occupancy_tracked() {
+        let t = alu_loop_trace(1000, 8);
+        let r = run_cfg(CoreConfig::power10(), t);
+        let occ = r.activity.mean_window_occupancy();
+        assert!(occ > 1.0 && occ <= 512.0, "occupancy {occ} out of range");
+    }
+}
+
+#[cfg(test)]
+mod gating_tests {
+    use super::*;
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+
+    fn mma_burst_program(prelude_alus: u16, hint: bool) -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), 2_000);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.addi(Reg::gpr(5), Reg::gpr(5), 1);
+        b.bdnz(top);
+        if hint {
+            b.push(Inst::MmaWakeHint);
+        }
+        // Post-loop scalar work that covers (or not) the wake window.
+        for k in 0..prelude_alus {
+            let r = 6 + (k % 8);
+            b.addi(Reg::gpr(r), Reg::gpr(r), 1);
+        }
+        b.push(Inst::Xxsetaccz { at: Reg::acc(0) });
+        b.li(Reg::gpr(6), 200);
+        b.mtctr(Reg::gpr(6));
+        let kloop = b.bind_label();
+        b.push(Inst::Xvf64gerpp {
+            at: Reg::acc(0),
+            xa: Reg::vsr(34),
+            xb: Reg::vsr(36),
+        });
+        b.bdnz(kloop);
+        Machine::new().run(&b.build(), 1_000_000).unwrap()
+    }
+
+    #[test]
+    fn cold_mma_use_pays_wake_latency() {
+        let t = mma_burst_program(4, false);
+        let r = Core::new(CoreConfig::power10()).run(vec![t], 1_000_000);
+        assert!(
+            r.activity.mma_wake_stall_cycles >= 32,
+            "cold MMA start must stall, got {}",
+            r.activity.mma_wake_stall_cycles
+        );
+        assert!(r.activity.mma_powered_cycles > 0);
+        // The unit was gated during the long scalar prelude.
+        assert!(r.activity.mma_powered_cycles < r.activity.cycles);
+    }
+
+    #[test]
+    fn wake_hint_hides_the_latency() {
+        // Hint placed a long scalar stretch before the MMA burst: the
+        // unit powers on in the shadow of that work.
+        let cold =
+            Core::new(CoreConfig::power10()).run(vec![mma_burst_program(200, false)], 1_000_000);
+        let hinted =
+            Core::new(CoreConfig::power10()).run(vec![mma_burst_program(200, true)], 1_000_000);
+        assert!(
+            hinted.activity.mma_wake_stall_cycles < cold.activity.mma_wake_stall_cycles,
+            "hint must cut wake stalls: cold {} hinted {}",
+            cold.activity.mma_wake_stall_cycles,
+            hinted.activity.mma_wake_stall_cycles
+        );
+        assert_eq!(hinted.activity.completed, cold.activity.completed + 1);
+    }
+
+    #[test]
+    fn specint_code_never_powers_the_mma() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), 3_000);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.addi(Reg::gpr(5), Reg::gpr(5), 1);
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 1_000_000).unwrap();
+        let r = Core::new(CoreConfig::power10()).run(vec![t], 1_000_000);
+        assert_eq!(r.activity.mma_powered_cycles, 0);
+        assert_eq!(r.activity.mma_wake_stall_cycles, 0);
+    }
+}
+
+#[cfg(test)]
+mod smt_policy_tests {
+    use super::*;
+    use crate::config::{FetchPolicy, SmtMode};
+    use p10_isa::{Machine, ProgramBuilder, Reg};
+
+    fn compute_trace(ops: u64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), i64::MAX / 2);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        for k in 0..8u16 {
+            b.addi(Reg::gpr(5 + k % 8), Reg::gpr(5 + k % 8), 1);
+        }
+        b.bdnz(top);
+        Machine::new().run(&b.build(), ops).unwrap()
+    }
+
+    fn memory_trace(ops: u64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(1), 0x40_0000);
+        b.li(Reg::gpr(4), i64::MAX / 2);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.ld(Reg::gpr(2), Reg::gpr(1), 0);
+        b.add(Reg::gpr(3), Reg::gpr(3), Reg::gpr(2));
+        b.addi(Reg::gpr(1), Reg::gpr(1), 4096);
+        b.bdnz(top);
+        Machine::new().run(&b.build(), ops).unwrap()
+    }
+
+    #[test]
+    fn icount_favors_the_fast_thread() {
+        // One compute thread + one memory-stalled thread: ICOUNT should
+        // let the compute thread retire more than round-robin does, at
+        // equal-or-better total throughput.
+        let run = |policy: FetchPolicy| {
+            let mut cfg = CoreConfig::power10();
+            cfg.smt = SmtMode::Smt2;
+            cfg.fetch_policy = policy;
+            cfg.prefetch_streams = 0;
+            Core::new(cfg).run(vec![compute_trace(20_000), memory_trace(20_000)], 60_000)
+        };
+        let rr = run(FetchPolicy::RoundRobin);
+        let ic = run(FetchPolicy::ICount);
+        // Bounded-cycle run: compare per-thread progress.
+        assert!(
+            ic.per_thread_completed[0] >= rr.per_thread_completed[0],
+            "ICOUNT must not starve the fast thread: rr {:?} ic {:?}",
+            rr.per_thread_completed,
+            ic.per_thread_completed
+        );
+        let total_rr: u64 = rr.per_thread_completed.iter().sum();
+        let total_ic: u64 = ic.per_thread_completed.iter().sum();
+        assert!(
+            total_ic as f64 >= total_rr as f64 * 0.95,
+            "ICOUNT throughput must be competitive: {total_rr} vs {total_ic}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod corner_tests {
+    use super::*;
+    use crate::config::SmtMode;
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+
+    #[test]
+    fn divides_serialize_on_the_unpipelined_unit() {
+        // Back-to-back independent divides: throughput limited by the
+        // divider being busy, not by dependencies.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(1), 1000);
+        b.li(Reg::gpr(2), 7);
+        b.li(Reg::gpr(4), 100);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        for t in 0..4u16 {
+            b.push(Inst::Divd {
+                rt: Reg::gpr(10 + t),
+                ra: Reg::gpr(1),
+                rb: Reg::gpr(2),
+            });
+        }
+        b.bdnz(top);
+        let t = Machine::new().run(&b.build(), 100_000).unwrap();
+        let cfg = CoreConfig::power10();
+        let div_lat = u64::from(cfg.div_latency);
+        let r = Core::new(cfg).run(vec![t], 10_000_000);
+        // 400 divides, each occupying the divider for div_latency cycles.
+        assert!(
+            r.activity.cycles >= 400 * div_lat,
+            "divides must serialize: {} cycles for 400 divides of {div_lat}",
+            r.activity.cycles
+        );
+    }
+
+    #[test]
+    fn prefixed_instructions_consume_two_fetch_slots() {
+        // A loop of prefixed (large-immediate) li ops fetches at half
+        // rate; compare against plain adds.
+        let make = |prefixed: bool| -> Trace {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::gpr(4), 1500);
+            b.mtctr(Reg::gpr(4));
+            let top = b.bind_label();
+            for k in 0..8u16 {
+                if prefixed {
+                    b.li(Reg::gpr(5 + k % 8), 1 << 20); // prefixed form
+                } else {
+                    b.li(Reg::gpr(5 + k % 8), 1); // plain form
+                }
+            }
+            b.bdnz(top);
+            Machine::new().run(&b.build(), 1_000_000).unwrap()
+        };
+        let plain = Core::new(CoreConfig::power10()).run(vec![make(false)], 10_000_000);
+        let pfx = Core::new(CoreConfig::power10()).run(vec![make(true)], 10_000_000);
+        assert_eq!(plain.activity.completed, pfx.activity.completed);
+        assert!(
+            pfx.activity.cycles as f64 > plain.activity.cycles as f64 * 1.15,
+            "prefixed fetch must cost more: {} vs {}",
+            plain.activity.cycles,
+            pfx.activity.cycles
+        );
+    }
+
+    #[test]
+    fn lmq_limits_outstanding_misses() {
+        // A stream of independent far-apart loads: memory-level
+        // parallelism is capped by the load-miss queue.
+        let make_trace = || {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::gpr(1), 0x100_0000);
+            b.li(Reg::gpr(4), 400);
+            b.mtctr(Reg::gpr(4));
+            let top = b.bind_label();
+            for k in 0..4u16 {
+                b.ld(Reg::gpr(10 + k), Reg::gpr(1), i64::from(k) * 1_048_576);
+            }
+            b.addi(Reg::gpr(1), Reg::gpr(1), 8192);
+            b.bdnz(top);
+            Machine::new().run(&b.build(), 1_000_000).unwrap()
+        };
+        let mut narrow = CoreConfig::power10();
+        narrow.prefetch_streams = 0;
+        narrow.load_miss_queue = 1;
+        let mut wide = narrow.clone();
+        wide.load_miss_queue = 12;
+        let r1 = Core::new(narrow).run(vec![make_trace()], 10_000_000);
+        let r12 = Core::new(wide).run(vec![make_trace()], 10_000_000);
+        assert!(
+            r1.activity.cycles as f64 > r12.activity.cycles as f64 * 1.5,
+            "MLP must be LMQ-limited: lmq1 {} vs lmq12 {}",
+            r1.activity.cycles,
+            r12.activity.cycles
+        );
+    }
+
+    #[test]
+    fn smt4_runs_four_threads_fairly() {
+        let mk = |seed: i64| {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::gpr(4), 1000 + seed);
+            b.mtctr(Reg::gpr(4));
+            let top = b.bind_label();
+            for k in 0..6u16 {
+                b.addi(Reg::gpr(5 + k), Reg::gpr(5 + k), 1);
+            }
+            b.bdnz(top);
+            Machine::new().run(&b.build(), 25_000).unwrap()
+        };
+        let mut cfg = CoreConfig::power10();
+        cfg.smt = SmtMode::Smt4;
+        let traces = vec![mk(0), mk(1), mk(2), mk(3)];
+        let lens: Vec<u64> = traces.iter().map(|t| t.len() as u64).collect();
+        let r = Core::new(cfg).run(traces, 10_000_000);
+        assert_eq!(r.per_thread_completed, lens);
+        assert_eq!(r.threads, 4);
+    }
+
+    #[test]
+    fn fused_store_pair_uses_single_sq_entry() {
+        // Two 8-byte stores to consecutive addresses with a tiny store
+        // queue: with fusion the pair shares one entry, so POWER10 with
+        // SQ=2/thread makes progress a no-fusion config chokes on.
+        let mk = || {
+            let mut b = ProgramBuilder::new();
+            b.li(Reg::gpr(1), 0x20_0000);
+            b.li(Reg::gpr(4), 800);
+            b.mtctr(Reg::gpr(4));
+            let top = b.bind_label();
+            b.std(Reg::gpr(5), Reg::gpr(1), 0);
+            b.std(Reg::gpr(5), Reg::gpr(1), 8);
+            b.addi(Reg::gpr(1), Reg::gpr(1), 64);
+            b.bdnz(top);
+            Machine::new().run(&b.build(), 1_000_000).unwrap()
+        };
+        let mut fused = CoreConfig::power10();
+        fused.store_queue = 4; // 2 per thread in ST accounting
+        let mut unfused = fused.clone();
+        unfused.fusion = false;
+        let rf = Core::new(fused).run(vec![mk()], 10_000_000);
+        let ru = Core::new(unfused).run(vec![mk()], 10_000_000);
+        assert_eq!(rf.activity.completed, ru.activity.completed);
+        assert!(rf.activity.fused_pairs > 700, "pairs must fuse");
+        assert!(
+            rf.activity.cycles <= ru.activity.cycles,
+            "shared SQ entries must not be slower: fused {} vs unfused {}",
+            rf.activity.cycles,
+            ru.activity.cycles
+        );
+    }
+
+    #[test]
+    fn wrong_path_estimate_zero_without_branches() {
+        let mut b = ProgramBuilder::new();
+        for _ in 0..500 {
+            b.addi(Reg::gpr(5), Reg::gpr(5), 1);
+        }
+        let t = Machine::new().run(&b.build(), 10_000).unwrap();
+        let r = Core::new(CoreConfig::power10()).run(vec![t], 100_000);
+        assert_eq!(r.activity.wrong_path_fetched, 0);
+        assert_eq!(r.activity.branch_mispredicts, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! # p10-workloads
+//!
+//! Synthetic workloads standing in for the paper's benchmark suites.
+//!
+//! The paper's methodology is driven by SPECint CPU2017, commercial,
+//! Python/interpreted and ISV workload groups, reduced to RTL-runnable
+//! *proxies* via the Chopstix tool, plus Microprobe-generated synthetic
+//! microbenchmarks (§III-A, §III-E). None of those inputs are
+//! redistributable, so this crate builds the closest synthetic
+//! equivalents:
+//!
+//! * [`suite::specint_like`] — ten benchmark generators with distinct,
+//!   documented behavioural signatures (branchy interpreters,
+//!   pointer-chasers, tight integer loops...), mirroring the *spread* of
+//!   behaviours in SPECint. Each produces a real [`Workload`]: a program
+//!   plus initialized memory, functionally executable into a trace.
+//! * [`chopstix`] — hot-function extraction: finds the top-N most executed
+//!   functions of a workload and packages each as an L1-contained endless
+//!   loop (the paper's proxy workloads), reporting dynamic coverage.
+//! * [`microbench`] — Microprobe-style parametric kernels (dependency
+//!   distance, data initialization, op mix) used for power-model training
+//!   corpora and SERMiner derating studies.
+//!
+//! Workload generation is fully deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chopstix;
+pub mod gen;
+pub mod microbench;
+pub mod suite;
+mod workload;
+
+pub use gen::{synthesize, Signature, WorkloadBuilder};
+pub use suite::{specint_like, Benchmark, WorkloadGroup};
+pub use workload::{FunctionSpan, Workload};

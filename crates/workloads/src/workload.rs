@@ -1,0 +1,99 @@
+//! A runnable workload: program, pre-initialized memory, and metadata.
+
+use p10_isa::{ExecError, Machine, Program, Trace};
+use serde::{Deserialize, Serialize};
+
+/// A named span of instructions forming a "function" of the workload
+/// (used by the Chopstix-style proxy extractor).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionSpan {
+    /// Function name.
+    pub name: String,
+    /// First instruction index (inclusive).
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+}
+
+impl FunctionSpan {
+    /// Whether an instruction index falls inside this function.
+    #[must_use]
+    pub fn contains(&self, idx: usize) -> bool {
+        (self.start..self.end).contains(&idx)
+    }
+}
+
+/// A fully prepared workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Workload name (e.g. `"mcfish"`).
+    pub name: String,
+    /// The program.
+    pub program: Program,
+    /// The machine with memory pre-initialized (registers reset).
+    pub machine: Machine,
+    /// Function spans for hot-function analysis (may be empty).
+    pub functions: Vec<FunctionSpan>,
+}
+
+impl Workload {
+    /// Functionally executes the workload for up to `max_ops` dynamic
+    /// instructions and returns the trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-execution errors (which indicate a bug in the
+    /// workload generator).
+    pub fn trace(&self, max_ops: u64) -> Result<Trace, ExecError> {
+        let mut m = self.machine.clone();
+        m.run(&self.program, max_ops)
+    }
+
+    /// Like [`Workload::trace`] but panics on error, for generator code
+    /// paths where failure is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if functional execution fails.
+    #[must_use]
+    pub fn trace_or_panic(&self, max_ops: u64) -> Trace {
+        self.trace(max_ops)
+            .unwrap_or_else(|e| panic!("workload {} failed to execute: {e}", self.name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p10_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn function_span_contains() {
+        let f = FunctionSpan {
+            name: "f".into(),
+            start: 4,
+            end: 8,
+        };
+        assert!(!f.contains(3));
+        assert!(f.contains(4));
+        assert!(f.contains(7));
+        assert!(!f.contains(8));
+    }
+
+    #[test]
+    fn trace_replays_from_pristine_machine() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(3), 1);
+        b.addi(Reg::gpr(3), Reg::gpr(3), 2);
+        let w = Workload {
+            name: "t".into(),
+            program: b.build(),
+            machine: Machine::new(),
+            functions: vec![],
+        };
+        let t1 = w.trace(100).unwrap();
+        let t2 = w.trace(100).unwrap();
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t1.ops, t2.ops, "tracing must be repeatable");
+    }
+}

@@ -1,0 +1,88 @@
+//! Power management in action: Workload Optimized Frequency, MMA power
+//! gating, fine-grained throttling, and the droop sensor (paper §IV).
+//!
+//! Run with: `cargo run --release --example wof_boost`
+
+use p10sim::core::scenario::run_benchmark;
+use p10sim::powermgmt::gating::{simulate as gate, GatingConfig, MmaEvent};
+use p10sim::powermgmt::throttle::{
+    simulate_droop, simulate_fine_loop, step_load, DroopSensor, FineThrottle, PdnModel,
+};
+use p10sim::powermgmt::wof::{ceff_ratio, solve, WofConfig};
+use p10sim::uarch::CoreConfig;
+use p10sim::workloads::specint_like;
+
+fn main() {
+    // --- 1. WOF: measure each workload's effective capacitance on the
+    // cycle model and solve its shipping frequency. ---
+    println!("== Workload Optimized Frequency ==");
+    let cfg = CoreConfig::power10();
+    let suite = specint_like();
+    let results: Vec<_> = suite
+        .iter()
+        .map(|b| run_benchmark(&cfg, b, 42, 20_000))
+        .collect();
+    let ref_power = results
+        .iter()
+        .map(|r| r.power.active())
+        .fold(0.0f64, f64::max);
+    let wof = WofConfig::typical();
+    for r in &results {
+        let ceff = ceff_ratio(r.power.active(), ref_power);
+        let d = solve(&wof, ceff, 0.0);
+        let gated = solve(&wof, ceff, 2.0); // MMA leakage reclaimed
+        println!(
+            "{:<14} Ceff {:>5.2} -> {:.2} GHz ({:+5.1}% boost); MMA gated: {:.2} GHz",
+            r.workload,
+            ceff,
+            d.point.freq,
+            (d.boost - 1.0) * 100.0,
+            gated.point.freq
+        );
+    }
+
+    // --- 2. MMA power gating with wake-up hints. ---
+    println!("\n== MMA power gating ==");
+    let g = GatingConfig::default();
+    let cold = gate(&g, &[MmaEvent::Use(50_000)], 200_000);
+    let hinted = gate(
+        &g,
+        &[
+            MmaEvent::Hint(50_000 - g.wake_latency),
+            MmaEvent::Use(50_000),
+        ],
+        200_000,
+    );
+    println!(
+        "cold use : {} stall cycles, {:.0} leakage-units saved",
+        cold.wake_stall_cycles, cold.leakage_saved
+    );
+    println!(
+        "with hint: {} stall cycles, {:.0} leakage-units saved  (the architected hint hides the wake)",
+        hinted.wake_stall_cycles, hinted.leakage_saved
+    );
+
+    // --- 3. Fine-grained throttling at a fixed frequency. ---
+    println!("\n== Fine-grained instruction throttle (cap = 100) ==");
+    let mut ctl = FineThrottle::new(100.0, 0.35);
+    let powers = simulate_fine_loop(&mut ctl, &vec![150.0; 60], 1.0);
+    for (i, p) in powers.iter().enumerate().step_by(10) {
+        println!(
+            "interval {i:>3}: power {p:>6.1}  throttle {:.0}%",
+            ctl.level() * 100.0
+        );
+    }
+
+    // --- 4. Droop sensing on a step load. ---
+    println!("\n== Digital droop sensor ==");
+    let demand = step_load(20, 40, 0.2, 2.0);
+    let pdn = PdnModel::default();
+    let without = simulate_droop(&pdn, None, &demand);
+    let with = simulate_droop(&pdn, Some(&DroopSensor::default()), &demand);
+    println!(
+        "worst droop without DDS: {:.1}% of nominal; with DDS: {:.1}% ({} engagements)",
+        without.max_droop * 100.0,
+        with.max_droop * 100.0,
+        with.engagements
+    );
+}

@@ -1,0 +1,40 @@
+//! # p10sim
+//!
+//! Umbrella crate for the `p10sim` workspace: a from-scratch Rust
+//! reproduction of the ISCA 2021 paper *Energy Efficiency Boost in the
+//! AI-Infused POWER10 Processor*.
+//!
+//! This crate re-exports every sub-crate under a stable module path, hosts
+//! the runnable examples (`examples/`), and anchors the cross-crate
+//! integration tests (`tests/`). For the actual APIs start at
+//! [`core`] (scenario presets and experiment runners) and work outward.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`isa`] | POWER-like ISA, functional machine, dynamic-op traces |
+//! | [`uarch`] | cycle-level OoO SMT core model, P9/P10 presets |
+//! | [`power`] | component-level (Einspower-like) power model |
+//! | [`rtlsim`] | detailed latch-activity simulation + Powerminer reports |
+//! | [`apex`] | accelerated power extraction, core vs chip models |
+//! | [`workloads`] | SPECint-like suite, Chopstix proxies, microbenchmarks |
+//! | [`trace`] | Tracepoints + Simpoint baseline |
+//! | [`powermodel`] | counter-based power models and the power proxy |
+//! | [`serminer`] | latch vulnerability / derating analysis |
+//! | [`powermgmt`] | WOF, PFLY/CLY, throttling, droop, MMA power gating |
+//! | [`pipedepth`] | optimal pipeline-depth (FO4) study |
+//! | [`kernels`] | GEMM kernels (VSU/MMA) and ResNet-50 / BERT-Large models |
+//! | [`core`] | top-level scenarios, experiment runners, figure data |
+
+pub use p10_apex as apex;
+pub use p10_core as core;
+pub use p10_isa as isa;
+pub use p10_kernels as kernels;
+pub use p10_pipedepth as pipedepth;
+pub use p10_power as power;
+pub use p10_powermgmt as powermgmt;
+pub use p10_powermodel as powermodel;
+pub use p10_rtlsim as rtlsim;
+pub use p10_serminer as serminer;
+pub use p10_trace as trace;
+pub use p10_uarch as uarch;
+pub use p10_workloads as workloads;

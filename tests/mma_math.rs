@@ -1,0 +1,173 @@
+//! MMA numerical correctness against scalar references, at integration
+//! scale (the unit tests cover small cases; these run real kernel
+//! shapes) — plus the VSU/MMA equivalence that Fig. 5 relies on.
+
+use p10sim::isa::{Inst, Machine, ProgramBuilder, Reg};
+use p10sim::kernels::gemm::{dgemm_mma_finite, dgemm_reference};
+
+#[test]
+fn finite_dgemm_matches_reference_for_many_k() {
+    for k_steps in [1i64, 7, 64, 250] {
+        let c_base = 0x0300_0000u64;
+        let w = dgemm_mma_finite(k_steps, c_base);
+        let mut m = w.machine.clone();
+        m.run(&w.program, 10_000_000).expect("kernel runs");
+        let expect = dgemm_reference(k_steps as usize);
+        for r_blk in 0..2u64 {
+            for c_blk in 0..4u64 {
+                let acc = 4 * r_blk + c_blk;
+                for row in 0..4u64 {
+                    for col in 0..2u64 {
+                        let addr = c_base + acc * 64 + row * 16 + col * 8;
+                        let got = m.mem.read_f64(addr);
+                        let want = expect[(4 * r_blk + row) as usize][(2 * c_blk + col) as usize];
+                        let tol = 1e-9 * want.abs().max(1.0);
+                        assert!(
+                            (got - want).abs() < tol,
+                            "k={k_steps} C[{}][{}]: got {got}, want {want}",
+                            4 * r_blk + row,
+                            2 * c_blk + col
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An MMA rank-1 sequence must equal the same math done with scalar VSX
+/// FMAs — the two code styles of Fig. 5 compute identical results.
+#[test]
+fn mma_equals_vsx_for_rank_updates() {
+    let a_vals = [1.25f64, -2.5, 3.75, 0.5];
+    let b_vals = [2.0f64, -1.5];
+    let steps = 9;
+
+    // MMA version.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::gpr(1), 0x8000);
+    b.lxv(Reg::vsr(34), Reg::gpr(1), 0);
+    b.lxv(Reg::vsr(35), Reg::gpr(1), 16);
+    b.lxv(Reg::vsr(36), Reg::gpr(1), 32);
+    b.push(Inst::Xxsetaccz { at: Reg::acc(0) });
+    for _ in 0..steps {
+        b.push(Inst::Xvf64gerpp {
+            at: Reg::acc(0),
+            xa: Reg::vsr(34),
+            xb: Reg::vsr(36),
+        });
+    }
+    let p = b.build();
+    let mut m = Machine::new();
+    for (i, v) in a_vals.iter().enumerate() {
+        m.mem.write_f64(0x8000 + 8 * i as u64, *v);
+    }
+    m.mem.write_f64(0x8020, b_vals[0]);
+    m.mem.write_f64(0x8028, b_vals[1]);
+    m.run(&p, 1_000).unwrap();
+    let grid = m.acc(0).as_f64_grid();
+
+    // Scalar reference with FMA semantics.
+    for (i, &av) in a_vals.iter().enumerate() {
+        for (j, &bv) in b_vals.iter().enumerate() {
+            let mut acc = 0.0f64;
+            for _ in 0..steps {
+                acc = av.mul_add(bv, acc);
+            }
+            assert!(
+                (grid[i][j] - acc).abs() < 1e-12,
+                "grid[{i}][{j}] = {}, reference {acc}",
+                grid[i][j]
+            );
+        }
+    }
+}
+
+/// The mixed-precision property BF16 GEMMs rely on: the accumulator is
+/// f32, so summing many terms that are individually below bf16's
+/// resolution still makes progress — a pure-bf16 accumulator would
+/// stagnate once the running sum grew past `increment × 2^8`.
+#[test]
+fn bf16_mma_accumulates_in_f32_not_bf16() {
+    use p10sim::isa::{bf16_to_f32, f32_to_bf16};
+
+    let steps = 4_096;
+    let increment = 0.125f32; // exact in bf16
+
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::gpr(1), 0x8000);
+    b.lxv(Reg::vsr(34), Reg::gpr(1), 0);
+    b.lxv(Reg::vsr(35), Reg::gpr(1), 16);
+    b.push(Inst::Xxsetaccz { at: Reg::acc(0) });
+    b.li(Reg::gpr(30), steps);
+    b.mtctr(Reg::gpr(30));
+    let top = b.bind_label();
+    b.push(Inst::Xvbf16ger2pp {
+        at: Reg::acc(0),
+        xa: Reg::vsr(34),
+        xb: Reg::vsr(35),
+    });
+    b.bdnz(top);
+    let p = b.build();
+
+    let mut m = Machine::new();
+    // a = all `increment`, b = all 1.0: each ger adds 2*increment = 0.25
+    // to every accumulator element.
+    for i in 0..8u64 {
+        m.mem
+            .write_bytes(0x8000 + 2 * i, &f32_to_bf16(increment).to_le_bytes());
+        m.mem
+            .write_bytes(0x8010 + 2 * i, &f32_to_bf16(1.0).to_le_bytes());
+    }
+    m.run(&p, 100_000).expect("loop runs");
+    let got = m.acc(0).as_f32_grid()[0][0];
+    let want = steps as f32 * 2.0 * increment; // 2048.0 exactly in f32
+    assert_eq!(got, want, "f32 accumulation must be exact here");
+
+    // Demonstrate the contrast: folding the sum through bf16 after every
+    // step stagnates far below the true value (0.25 < ulp_bf16(1024)).
+    let mut narrow = 0.0f32;
+    for _ in 0..steps {
+        narrow = bf16_to_f32(f32_to_bf16(narrow + 2.0 * increment));
+    }
+    assert!(
+        narrow < want / 2.0,
+        "bf16-width accumulation should stagnate: {narrow} vs {want}"
+    );
+}
+
+/// INT8 accumulators saturate nowhere in our range and match i32 math.
+#[test]
+fn int8_rank4_accumulation_is_exact() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::gpr(1), 0x8000);
+    b.lxv(Reg::vsr(40), Reg::gpr(1), 0);
+    b.lxv(Reg::vsr(41), Reg::gpr(1), 16);
+    b.push(Inst::Xxsetaccz { at: Reg::acc(3) });
+    for _ in 0..100 {
+        b.push(Inst::Xvi8ger4pp {
+            at: Reg::acc(3),
+            xa: Reg::vsr(40),
+            xb: Reg::vsr(41),
+        });
+    }
+    let p = b.build();
+    let mut m = Machine::new();
+    let av: [i8; 16] = [7, -3, 2, 9, -8, 4, 1, -1, 5, 5, -5, -5, 127, -128, 0, 3];
+    let bv: [i8; 16] = [1, 2, 3, 4, -4, -3, -2, -1, 9, 0, 9, 0, -7, 7, -7, 7];
+    for i in 0..16 {
+        m.mem.write_u8(0x8000 + i as u64, av[i] as u8);
+        m.mem.write_u8(0x8010 + i as u64, bv[i] as u8);
+    }
+    m.run(&p, 10_000).unwrap();
+    let g = m.acc(3).as_i32_grid();
+    for i in 0..4 {
+        for j in 0..4 {
+            let mut dot = 0i32;
+            for k in 0..4 {
+                dot += i32::from(av[4 * i + k]) * i32::from(bv[4 * j + k]);
+            }
+            assert_eq!(g[i][j], dot * 100, "({i},{j})");
+        }
+    }
+}

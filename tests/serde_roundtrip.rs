@@ -1,0 +1,86 @@
+//! Serde round-trips for the public data types: experiment artifacts are
+//! JSON (the `figures --json` output); everything a downstream tool
+//! consumes must survive serialize → deserialize unchanged.
+
+use p10sim::isa::{Machine, ProgramBuilder, Reg, Trace};
+use p10sim::uarch::{Activity, CoreConfig};
+
+#[test]
+fn core_config_roundtrip() {
+    for cfg in [
+        CoreConfig::power9(),
+        CoreConfig::power10(),
+        CoreConfig::power10_no_mma(),
+    ] {
+        let json = serde_json::to_string(&cfg).expect("serialize");
+        let back: CoreConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(cfg, back);
+    }
+}
+
+#[test]
+fn program_and_trace_roundtrip() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::gpr(4), 25);
+    b.mtctr(Reg::gpr(4));
+    let top = b.bind_label();
+    b.addi(Reg::gpr(3), Reg::gpr(3), 1);
+    b.ld(Reg::gpr(5), Reg::gpr(3), 64);
+    b.bdnz(top);
+    let p = b.build();
+
+    let json = serde_json::to_string(&p).expect("serialize program");
+    let p2: p10sim::isa::Program = serde_json::from_str(&json).expect("deserialize program");
+    assert_eq!(p.insts(), p2.insts());
+
+    // Deserialized programs execute identically.
+    let t1 = Machine::new().run(&p, 10_000).unwrap();
+    let t2 = Machine::new().run(&p2, 10_000).unwrap();
+    assert_eq!(t1.ops, t2.ops);
+
+    // Traces themselves round-trip.
+    let tj = serde_json::to_string(&t1).expect("serialize trace");
+    let t3: Trace = serde_json::from_str(&tj).expect("deserialize trace");
+    assert_eq!(t1.ops, t3.ops);
+}
+
+#[test]
+fn activity_and_power_report_roundtrip() {
+    let mut act = Activity {
+        cycles: 1234,
+        completed: 2345,
+        ..Activity::default()
+    };
+    act.mma_flops = 999;
+    let json = serde_json::to_string(&act).unwrap();
+    let back: Activity = serde_json::from_str(&json).unwrap();
+    assert_eq!(act, back);
+
+    let report = p10sim::power::PowerModel::for_config(&CoreConfig::power10()).evaluate(&act);
+    let rj = serde_json::to_string(&report).unwrap();
+    let rb: p10sim::power::PowerReport = serde_json::from_str(&rj).unwrap();
+    // JSON prints the shortest round-trippable float, which can differ in
+    // the last ULP from the computed value — compare with tolerance.
+    assert_eq!(report.components.len(), rb.components.len());
+    for (x, y) in report.components.iter().zip(rb.components.iter()) {
+        assert_eq!(x.kind, y.kind);
+        assert!((x.total() - y.total()).abs() < 1e-9);
+    }
+    assert!((report.total() - rb.total()).abs() < 1e-9);
+    assert!((report.idle_total - rb.idle_total).abs() < 1e-9);
+}
+
+#[test]
+fn experiment_artifacts_roundtrip() {
+    // The figure data types downstream tools consume.
+    let fig2 = p10sim::pipedepth::run_fig2(&p10sim::pipedepth::DepthParams::default(), &[]);
+    let j = serde_json::to_string(&fig2).unwrap();
+    let back: p10sim::pipedepth::Fig2 = serde_json::from_str(&j).unwrap();
+    assert_eq!(fig2.points.len(), back.points.len());
+    assert_eq!(fig2.optimal_fo4(1.0), back.optimal_fo4(1.0));
+
+    let scaling = p10sim::core::socket::SocketScaling::default();
+    let sj = serde_json::to_string(&scaling).unwrap();
+    let sb: p10sim::core::socket::SocketScaling = serde_json::from_str(&sj).unwrap();
+    assert!((scaling.core_count_ratio - sb.core_count_ratio).abs() < 1e-12);
+}
