@@ -2,16 +2,20 @@
 //!
 //! Usage:
 //! ```text
-//! figures <experiment> [--json] [--ops N] [--out DIR]
+//! figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache]
 //! ```
-//! `--out DIR` captures each experiment's stdout into `DIR/<exp>.txt`
-//! (or `.json` with `--json`) as well as printing it.
-//! where `<experiment>` is one of: `table1 fig2 fig4 fig5 fig6 socket
-//! fig10 fig11 fig12 fig13 fig14 fig15a fig15b flushes coverage
-//! apex-speedup wof all`.
+//! `--out DIR` captures each experiment's stdout into `DIR/<exp>.json`
+//! as well as printing it. `--jobs N` sets the worker-pool width
+//! (default: all CPUs) and `--no-cache` disables the on-disk result
+//! cache (`target/p10sim-cache`, override with `P10SIM_CACHE_DIR`); see
+//! `p10_core::runner`. `<experiment>` is one of: `table1 fig2 fig4 fig5
+//! fig6 socket fig10 fig11 fig12 fig13 fig14 fig15a fig15b flushes
+//! coverage apex-speedup wof tracepoints sensitivity smt tracking droop
+//! all`.
 
 use p10_bench::{suite, FULL_OPS};
 use p10_core::powerstudies::{build_dataset, run_fig11, run_fig12, run_fig15a, run_fig15b, Target};
+use p10_core::runner;
 use p10_core::{ablation, flush, gemm, inference, rasstudy, scenario, socket, table1, tracestudy};
 use p10_kernels::models::{bert_large, resnet50};
 use p10_powermgmt::wof;
@@ -19,22 +23,130 @@ use p10_uarch::CoreConfig;
 use p10_workloads::chopstix;
 use serde_json::json;
 
+const EXPERIMENTS: [&str; 22] = [
+    "table1",
+    "fig2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "socket",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15a",
+    "fig15b",
+    "flushes",
+    "coverage",
+    "apex-speedup",
+    "wof",
+    "tracepoints",
+    "sensitivity",
+    "smt",
+    "tracking",
+    "droop",
+];
+
 struct Opts {
     json: bool,
     ops: u64,
     out: Option<std::path::PathBuf>,
+    jobs: usize,
+    no_cache: bool,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache]");
+    eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+    std::process::exit(2);
+}
+
+/// Parses the command line strictly: malformed values and unknown
+/// experiments or flags abort with a clear message instead of silently
+/// running something else.
+fn parse_args(args: &[String]) -> (String, Opts) {
+    let mut what: Option<String> = None;
+    let mut opts = Opts {
+        json: false,
+        ops: FULL_OPS,
+        out: None,
+        jobs: 0,
+        no_cache: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut flag_value = |name: &str| -> String {
+            i += 1;
+            args.get(i)
+                .unwrap_or_else(|| usage_error(&format!("{name} requires a value")))
+                .clone()
+        };
+        match arg {
+            "--json" => opts.json = true,
+            "--no-cache" => opts.no_cache = true,
+            "--ops" => {
+                let v = flag_value("--ops");
+                opts.ops = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --ops value '{v}'")));
+                if opts.ops == 0 {
+                    usage_error("--ops must be positive");
+                }
+            }
+            "--jobs" => {
+                let v = flag_value("--jobs");
+                opts.jobs = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error(&format!("invalid --jobs value '{v}'")));
+                if opts.jobs == 0 {
+                    usage_error("--jobs must be positive");
+                }
+            }
+            "--out" => opts.out = Some(std::path::PathBuf::from(flag_value("--out"))),
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
+            exp => {
+                if what.is_some() {
+                    usage_error(&format!("more than one experiment given ('{exp}')"));
+                }
+                if exp != "all" && !EXPERIMENTS.contains(&exp) {
+                    usage_error(&format!("unknown experiment '{exp}'"));
+                }
+                what = Some(exp.to_owned());
+            }
+        }
+        i += 1;
+    }
+    (what.unwrap_or_else(|| "all".to_owned()), opts)
 }
 
 /// With `--out DIR`, re-runs the experiment as a child process in
 /// `--json` mode and stores its stdout as `DIR/<name>.json` (the run
 /// itself still prints human-readable output first). Experiments are
-/// deterministic, so the artifact matches what was just shown.
+/// deterministic, so the artifact matches what was just shown — and the
+/// child shares the parent's warm on-disk cache, so it skips the
+/// simulations the parent just ran.
 fn write_artifact(opts: &Opts, name: &str) {
     let Some(dir) = &opts.out else { return };
     std::fs::create_dir_all(dir).expect("create --out dir");
     let exe = std::env::current_exe().expect("own path");
+    let mut args = vec![
+        name.to_owned(),
+        "--json".to_owned(),
+        "--ops".to_owned(),
+        opts.ops.to_string(),
+    ];
+    if opts.jobs != 0 {
+        args.push("--jobs".to_owned());
+        args.push(opts.jobs.to_string());
+    }
+    if opts.no_cache {
+        args.push("--no-cache".to_owned());
+    }
     let output = std::process::Command::new(exe)
-        .args([name, "--json", "--ops", &opts.ops.to_string()])
+        .args(&args)
         .output()
         .expect("re-run experiment for artifact");
     assert!(
@@ -61,52 +173,33 @@ fn write_artifact(opts: &Opts, name: &str) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map_or("all", String::as_str).to_owned();
-    let opts = Opts {
-        json: args.iter().any(|a| a == "--json"),
-        ops: args
-            .iter()
-            .position(|a| a == "--ops")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(FULL_OPS),
-        out: args
-            .iter()
-            .position(|a| a == "--out")
-            .and_then(|i| args.get(i + 1))
-            .map(std::path::PathBuf::from),
-    };
+    let (what, opts) = parse_args(&args);
+
+    // All experiment drivers run on the shared engine: a worker pool plus
+    // in-process memo and (unless --no-cache) the on-disk result cache.
+    runner::configure(runner::EngineConfig {
+        jobs: opts.jobs,
+        disk_cache: (!opts.no_cache).then(runner::default_cache_dir),
+        progress: true,
+    });
+    eprintln!(
+        "[figures] {} worker(s), disk cache {}",
+        runner::engine().jobs(),
+        if opts.no_cache {
+            "off".to_owned()
+        } else {
+            runner::default_cache_dir().display().to_string()
+        }
+    );
 
     let experiments: Vec<&str> = if what == "all" {
-        vec![
-            "table1",
-            "fig2",
-            "fig4",
-            "fig5",
-            "fig6",
-            "socket",
-            "fig10",
-            "fig11",
-            "fig12",
-            "fig13",
-            "fig14",
-            "fig15a",
-            "fig15b",
-            "flushes",
-            "coverage",
-            "apex-speedup",
-            "wof",
-            "tracepoints",
-            "sensitivity",
-            "smt",
-            "tracking",
-            "droop",
-        ]
+        EXPERIMENTS.to_vec()
     } else {
         vec![what.as_str()]
     };
 
     for e in experiments {
+        let started = std::time::Instant::now();
         match e {
             "table1" => do_table1(&opts),
             "fig2" => do_fig2(&opts),
@@ -130,11 +223,10 @@ fn main() {
             "smt" => do_smt(&opts),
             "tracking" => do_tracking(&opts),
             "droop" => do_droop(&opts),
-            other => {
-                eprintln!("unknown experiment: {other}");
-                std::process::exit(2);
-            }
+            // parse_args validated the experiment name already.
+            other => unreachable!("unvalidated experiment '{other}'"),
         }
+        eprintln!("[figures] {e}: {:.2}s", started.elapsed().as_secs_f64());
         write_artifact(&opts, e);
     }
 }
@@ -262,13 +354,27 @@ fn do_fig5(o: &Opts) {
     );
 }
 
+/// Fig. 6 for one model, through the engine cache (the socket experiment
+/// needs the same runs, and warm re-runs skip them entirely).
+fn fig6_cached(model: &p10_kernels::models::ModelGraph, kernel_ops: u64) -> inference::Fig6Model {
+    runner::cached(
+        &format!("fig6 {} ops={kernel_ops}", model.name),
+        &format!(
+            "fig6|{}|{kernel_ops}",
+            serde_json::to_string(model).expect("model serializes")
+        ),
+        || inference::run_fig6(model, kernel_ops),
+    )
+}
+
 fn do_fig6(o: &Opts) {
     header(
         "Fig. 6 — end-to-end inference",
         "ResNet-50: 2.25x/3.55x; BERT-Large: 2.08x/3.64x (no-MMA/MMA)",
     );
-    for model in [resnet50(100), bert_large(8, 384)] {
-        let f = inference::run_fig6(&model, o.ops / 2);
+    let models = [resnet50(100), bert_large(8, 384)];
+    let figs = runner::run_jobs_par(&models, |_, m| fig6_cached(m, o.ops / 2));
+    for f in figs {
         if o.json {
             println!("{}", serde_json::to_string_pretty(&f).expect("json"));
             continue;
@@ -302,10 +408,22 @@ fn do_socket(o: &Opts) {
         "up to 10x FP32 and 21x INT8 over POWER9",
     );
     let p10 = CoreConfig::power10();
-    for model in [resnet50(100), bert_large(8, 384)] {
-        let f = inference::run_fig6(&model, o.ops / 2);
-        let int8 = inference::compose_int8(&model, &p10, o.ops / 2);
-        let p = socket::project_socket_measured(&f, &int8, &socket::SocketScaling::default());
+    let models = [resnet50(100), bert_large(8, 384)];
+    let projections = runner::run_jobs_par(&models, |_, model| {
+        let f = fig6_cached(model, o.ops / 2);
+        let int8: inference::InferenceRun = runner::cached(
+            &format!("int8 {} ops={}", model.name, o.ops / 2),
+            &format!(
+                "int8|{}|{}|{}",
+                serde_json::to_string(model).expect("model serializes"),
+                serde_json::to_string(&p10).expect("config serializes"),
+                o.ops / 2
+            ),
+            || inference::compose_int8(model, &p10, o.ops / 2),
+        );
+        socket::project_socket_measured(&f, &int8, &socket::SocketScaling::default())
+    });
+    for p in projections {
         if o.json {
             println!("{}", serde_json::to_string_pretty(&p).expect("json"));
             continue;
@@ -362,8 +480,8 @@ fn do_fig11(o: &Opts) {
         "Fig. 11 — M1-linked power model error vs #inputs",
         "error falls with inputs; <2.5% active at max inputs",
     );
-    let data = fig11_dataset(o);
-    let curves = run_fig11(&data, 12);
+    let data = runner::timed("fig11 dataset", || fig11_dataset(o));
+    let curves = runner::timed("fig11 regression", || run_fig11(&data, 12));
     if o.json {
         println!("{}", serde_json::to_string_pretty(&curves).expect("json"));
         return;

@@ -1,0 +1,84 @@
+//! CLI contract of the `figures` driver: bad input fails loudly instead
+//! of silently running the wrong experiment or op budget.
+
+use std::process::Command;
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = figures().args(args).output().expect("run figures");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} must exit 2, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains(needle),
+        "{args:?} stderr must mention '{needle}', got: {stderr}"
+    );
+    assert!(
+        stderr.contains("usage:"),
+        "{args:?} stderr must show usage, got: {stderr}"
+    );
+}
+
+#[test]
+fn malformed_ops_fails_loudly() {
+    assert_usage_error(&["table1", "--ops", "sixty-thousand"], "invalid --ops");
+    assert_usage_error(&["table1", "--ops"], "--ops requires a value");
+    assert_usage_error(&["table1", "--ops", "0"], "--ops must be positive");
+}
+
+#[test]
+fn unknown_experiment_fails_loudly() {
+    assert_usage_error(&["fig99"], "unknown experiment 'fig99'");
+}
+
+#[test]
+fn unknown_flag_fails_loudly() {
+    assert_usage_error(&["table1", "--opps", "60000"], "unknown flag '--opps'");
+}
+
+#[test]
+fn malformed_jobs_fails_loudly() {
+    assert_usage_error(&["table1", "--jobs", "many"], "invalid --jobs");
+    assert_usage_error(&["table1", "--jobs", "0"], "--jobs must be positive");
+}
+
+#[test]
+fn quick_experiment_runs_parallel_with_progress() {
+    // fig2 is analytic (no core-model simulation), so it is fast even in
+    // a test; the engine banner must appear on stderr and JSON on stdout.
+    let out = figures()
+        .args(["fig2", "--json", "--jobs", "2", "--no-cache"])
+        .output()
+        .expect("run figures");
+    assert!(out.status.success(), "fig2 run failed: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("2 worker(s)") && stderr.contains("disk cache off"),
+        "engine banner missing: {stderr}"
+    );
+    assert!(
+        stderr.contains("[figures] fig2:"),
+        "per-experiment timing line missing: {stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The payload is pretty-printed after the human-readable header:
+    // everything from the first '{'/'[' line to the end of stdout.
+    let start = stdout
+        .lines()
+        .scan(0usize, |off, line| {
+            let this = *off;
+            *off += line.len() + 1;
+            Some((this, line))
+        })
+        .find(|(_, l)| l.starts_with('{') || l.starts_with('['))
+        .map(|(off, _)| off)
+        .expect("JSON payload on stdout");
+    serde_json::from_str::<serde_json::Value>(&stdout[start..]).expect("payload parses as JSON");
+}

@@ -7,7 +7,8 @@
 //! L2 ≈9%, decode+double-VSX ≈5%, queues ≈4%; ML/analytics workloads gain
 //! close to 2× from the doubled VSX units alone.
 
-use crate::scenario::{geomean, run_benchmark};
+use crate::runner;
+use crate::scenario::geomean;
 use p10_uarch::{AblationGroup, CoreConfig, SmtMode};
 use p10_workloads::suite::extended_groups;
 use p10_workloads::Benchmark;
@@ -36,10 +37,12 @@ pub struct Fig4 {
 }
 
 fn suite_perf(cfg: &CoreConfig, suite: &[Benchmark], seed: u64, ops: u64) -> Vec<(String, f64)> {
-    suite
-        .iter()
-        .map(|b| (b.name.clone(), run_benchmark(cfg, b, seed, ops).ipc()))
-        .collect()
+    runner::run_jobs_par(suite, |_, b| {
+        (
+            b.name.clone(),
+            runner::run_benchmark_cached(cfg, b, seed, ops).ipc(),
+        )
+    })
 }
 
 /// Runs the Fig. 4 ablation: groups applied cumulatively in Fig. 4 order,

@@ -13,6 +13,8 @@
 //! * [`socket`] — socket-level scaling (cores per socket, system factors)
 //!   for the 10×/21× AI claims and Table I.
 //! * [`flush`] — the wasted-instruction (flush-reduction) study.
+//! * [`runner`] — the parallel experiment engine and result cache every
+//!   driver runs on.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub mod gemm;
 pub mod inference;
 pub mod powerstudies;
 pub mod rasstudy;
+pub mod runner;
 pub mod scenario;
 pub mod sensitivity;
 pub mod smtscale;

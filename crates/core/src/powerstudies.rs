@@ -5,7 +5,8 @@
 //! counter rates (features) and measured power (target, from the
 //! component power model — the stand-in for Einspower reference data).
 
-use p10_apex::run_apex;
+use crate::runner;
+use p10_apex::{run_apex, ApexReport};
 use p10_power::PowerModel;
 use p10_powermodel::{fit, forward_select, input_sweep, Dataset, FitOptions, SweepPoint};
 use p10_uarch::{Activity, CoreConfig};
@@ -55,33 +56,55 @@ pub fn build_dataset(
     let model = PowerModel::for_config(cfg);
     let mut data: Option<Dataset> = None;
     let mut sample_idx = 0u64;
-    for b in benchmarks {
-        for &seed in seeds {
-            let trace = b.workload(seed).trace_or_panic(ops_per_run);
-            let report = run_apex(cfg, vec![trace], window_cycles, ops_per_run * 40);
-            for w in &report.windows {
-                if w.activity.cycles < window_cycles / 2 {
-                    continue; // skip ragged tails
-                }
-                let (names, feats) = counter_features(&w.activity);
-                let d = data.get_or_insert_with(|| Dataset::new(names));
-                let power = model.evaluate(&w.activity);
-                let t = match target {
-                    Target::ActivePower => power.active(),
-                    Target::TotalPower => power.total(),
-                    Target::Component(i) => power.components[i].total(),
-                };
-                // Physical-design variability the performance counters
-                // cannot see (wire detours, data-dependent capacitance...).
-                // Einspower reference data carries it; a counter model
-                // cannot learn it — this sets the realistic error floor
-                // of Figs. 11/12/15. Deterministic ±4%.
-                sample_idx += 1;
-                let h = (sample_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64
-                    / (1u64 << 24) as f64;
-                let t = t * (1.0 + 0.08 * (h - 0.5));
-                d.push(feats, t);
+    // Fan the windowed runs out across the engine's worker pool; the
+    // reports are cached per (config, benchmark, seed, ops, window), so
+    // e.g. the Fig. 12 study's 40 per-target datasets share one set of
+    // simulations. Jitter below stays sequential in (benchmark, seed)
+    // order, so samples are bit-identical to the serial path.
+    let points: Vec<(&Benchmark, u64)> = benchmarks
+        .iter()
+        .flat_map(|b| seeds.iter().map(move |&s| (b, s)))
+        .collect();
+    let reports: Vec<ApexReport> = runner::run_jobs_par(&points, |_, &(b, seed)| {
+        runner::cached(
+            &format!(
+                "apex {} @ {} seed={seed} ops={ops_per_run} win={window_cycles}",
+                b.name, cfg.name
+            ),
+            &format!(
+                "apex|{}|{}|{seed}|{ops_per_run}|{window_cycles}",
+                serde_json::to_string(cfg).expect("config serializes"),
+                serde_json::to_string(b).expect("benchmark serializes"),
+            ),
+            || {
+                let trace = b.workload(seed).trace_or_panic(ops_per_run);
+                run_apex(cfg, vec![trace], window_cycles, ops_per_run * 40)
+            },
+        )
+    });
+    for report in &reports {
+        for w in &report.windows {
+            if w.activity.cycles < window_cycles / 2 {
+                continue; // skip ragged tails
             }
+            let (names, feats) = counter_features(&w.activity);
+            let d = data.get_or_insert_with(|| Dataset::new(names));
+            let power = model.evaluate(&w.activity);
+            let t = match target {
+                Target::ActivePower => power.active(),
+                Target::TotalPower => power.total(),
+                Target::Component(i) => power.components[i].total(),
+            };
+            // Physical-design variability the performance counters
+            // cannot see (wire detours, data-dependent capacitance...).
+            // Einspower reference data carries it; a counter model
+            // cannot learn it — this sets the realistic error floor
+            // of Figs. 11/12/15. Deterministic ±4%.
+            sample_idx += 1;
+            let h =
+                (sample_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / (1u64 << 24) as f64;
+            let t = t * (1.0 + 0.08 * (h - 0.5));
+            d.push(feats, t);
         }
     }
     data.unwrap_or_else(|| Dataset::new(Vec::new()))

@@ -1,0 +1,401 @@
+//! Parallel experiment-execution engine with a content-addressed result
+//! cache.
+//!
+//! Every figure driver ultimately fans out `(CoreConfig, Benchmark, seed,
+//! max_ops)` simulation points; this module runs those points across a
+//! [`std::thread::scope`] worker pool (std-only — no external thread-pool
+//! dependency) while keeping results bit-identical to the serial path and
+//! output ordering stable.
+//!
+//! Two cache layers sit in front of the simulator:
+//!
+//! * an **in-process memo** so one `figures all` run never simulates the
+//!   same point twice (e.g. the Fig. 12 bottom-up study re-reads the same
+//!   windowed runs for all 39 component targets), and
+//! * an optional **on-disk JSON cache** so a warm re-run (including the
+//!   `--out` artifact child process) skips already-simulated points.
+//!
+//! Keys are content hashes of the full serialized configuration plus the
+//! workload identity, seed, and op budget — a config tweak, new seed, or
+//! different budget is a different point. Per-job wall-clock timing and a
+//! progress line (on stderr, so `--json` stdout stays parseable) make
+//! long runs observable.
+
+use crate::scenario::{run_benchmark, ScenarioResult, SuiteResult};
+use p10_uarch::CoreConfig;
+use p10_workloads::Benchmark;
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// How an [`Engine`] should run jobs and cache results.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Directory for the on-disk JSON cache; `None` disables it (the
+    /// in-process memo is always on).
+    pub disk_cache: Option<PathBuf>,
+    /// Print a per-job progress/timing line to stderr.
+    pub progress: bool,
+}
+
+/// The execution engine: a worker-pool runner plus the two cache layers.
+pub struct Engine {
+    jobs: usize,
+    disk_cache: Option<PathBuf>,
+    progress: bool,
+    memo: Mutex<HashMap<String, Box<dyn Any + Send + Sync>>>,
+    job_counter: AtomicUsize,
+}
+
+impl Engine {
+    /// Builds an engine from a configuration.
+    #[must_use]
+    pub fn new(config: EngineConfig) -> Self {
+        let jobs = if config.jobs == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.jobs
+        };
+        Engine {
+            jobs,
+            disk_cache: config.disk_cache,
+            progress: config.progress,
+            memo: Mutex::new(HashMap::new()),
+            job_counter: AtomicUsize::new(0),
+        }
+    }
+
+    /// The worker-pool width this engine runs with.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Order-preserving parallel map: applies `f` to every item on a
+    /// scoped worker pool and returns results in item order.
+    ///
+    /// With one worker (or one item) this degenerates to a plain serial
+    /// map, so results are bit-identical either way; `f` only ever sees
+    /// `(index, item)` and must not depend on execution order.
+    pub fn run_jobs_par<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|c| {
+                c.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("worker completed every claimed job")
+            })
+            .collect()
+    }
+
+    /// Memoized computation: returns the cached value for `key` if any
+    /// layer holds it, otherwise runs `compute`, stores the result in
+    /// both layers, and returns it.
+    ///
+    /// `label` is only for the progress line. Results must be
+    /// deterministic functions of the key — the engine trusts the caller
+    /// that equal keys mean equal results.
+    pub fn cached<T, F>(&self, label: &str, key: &str, compute: F) -> T
+    where
+        T: Clone + Serialize + Deserialize + Send + Sync + 'static,
+        F: FnOnce() -> T,
+    {
+        let key = format!("{:016x}", fnv1a64(key.as_bytes()));
+        if let Some(hit) = self.memo_get::<T>(&key) {
+            self.progress_line(label, "memo hit");
+            return hit;
+        }
+        if let Some(hit) = self.disk_get::<T>(&key) {
+            self.memo_put(&key, hit.clone());
+            self.progress_line(label, "disk hit");
+            return hit;
+        }
+        let start = Instant::now();
+        let value = compute();
+        self.progress_line(label, &format!("{:.2}s", start.elapsed().as_secs_f64()));
+        self.disk_put(&key, &value);
+        self.memo_put(&key, value.clone());
+        value
+    }
+
+    /// Runs `f`, printing a per-job timing line (subject to the progress
+    /// setting) — for expensive steps that are not cacheable points.
+    pub fn timed<R>(&self, label: &str, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let r = f();
+        self.progress_line(label, &format!("{:.2}s", start.elapsed().as_secs_f64()));
+        r
+    }
+
+    /// One (config, benchmark, seed, ops) simulation point through the
+    /// cache.
+    #[must_use]
+    pub fn run_benchmark(
+        &self,
+        cfg: &CoreConfig,
+        bench: &Benchmark,
+        seed: u64,
+        max_ops: u64,
+    ) -> ScenarioResult {
+        let label = format!(
+            "{} @ {} x{} seed={seed} ops={max_ops}",
+            bench.name,
+            cfg.name,
+            cfg.smt.threads()
+        );
+        self.cached(&label, &point_key(cfg, bench, seed, max_ops), || {
+            run_benchmark(cfg, bench, seed, max_ops)
+        })
+    }
+
+    /// Runs a whole suite on one configuration across the worker pool,
+    /// result order matching the suite order (same as the serial path).
+    #[must_use]
+    pub fn run_suite(
+        &self,
+        cfg: &CoreConfig,
+        suite: &[Benchmark],
+        seed: u64,
+        max_ops: u64,
+    ) -> SuiteResult {
+        SuiteResult {
+            config: cfg.name.clone(),
+            results: self.run_jobs_par(suite, |_, b| self.run_benchmark(cfg, b, seed, max_ops)),
+        }
+    }
+
+    fn memo_get<T: Clone + 'static>(&self, key: &str) -> Option<T> {
+        self.memo
+            .lock()
+            .expect("memo poisoned")
+            .get(key)
+            .and_then(|v| v.downcast_ref::<T>())
+            .cloned()
+    }
+
+    fn memo_put<T: Send + Sync + 'static>(&self, key: &str, value: T) {
+        self.memo
+            .lock()
+            .expect("memo poisoned")
+            .insert(key.to_owned(), Box::new(value));
+    }
+
+    fn disk_get<T: Deserialize>(&self, key: &str) -> Option<T> {
+        let path = self.disk_cache.as_ref()?.join(format!("{key}.json"));
+        let text = std::fs::read_to_string(path).ok()?;
+        // A corrupt or stale entry is a miss, not an error.
+        serde_json::from_str(&text).ok()
+    }
+
+    fn disk_put<T: Serialize>(&self, key: &str, value: &T) {
+        let Some(dir) = &self.disk_cache else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return; // cache is best-effort; simulation results still stand
+        }
+        let Ok(text) = serde_json::to_string(value) else {
+            return;
+        };
+        // Write-then-rename so concurrent workers never observe a torn
+        // entry; collisions on the same key write identical bytes anyway.
+        let tmp = dir.join(format!("{key}.tmp.{}", std::process::id()));
+        let final_path = dir.join(format!("{key}.json"));
+        if std::fs::write(&tmp, text).is_ok() && std::fs::rename(&tmp, &final_path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    fn progress_line(&self, label: &str, outcome: &str) {
+        if self.progress {
+            let n = self.job_counter.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!("[runner #{n}] {label}: {outcome}");
+        }
+    }
+}
+
+/// Stable content key for one simulation point: the full serialized
+/// configuration and benchmark, plus seed and op budget.
+#[must_use]
+pub fn point_key(cfg: &CoreConfig, bench: &Benchmark, seed: u64, max_ops: u64) -> String {
+    format!(
+        "scenario|{}|{}|{seed}|{max_ops}",
+        serde_json::to_string(cfg).expect("config serializes"),
+        serde_json::to_string(bench).expect("benchmark serializes"),
+    )
+}
+
+/// 64-bit FNV-1a — deterministic across runs and Rust versions, which the
+/// on-disk cache requires (`DefaultHasher` makes no such promise).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+static GLOBAL: OnceLock<Engine> = OnceLock::new();
+
+/// Installs the process-wide engine. Returns `false` if one was already
+/// installed (first caller wins); call before any experiment runs.
+pub fn configure(config: EngineConfig) -> bool {
+    GLOBAL.set(Engine::new(config)).is_ok()
+}
+
+/// The process-wide engine, defaulting to all CPUs, memo-only caching,
+/// and no progress output if [`configure`] was never called.
+pub fn engine() -> &'static Engine {
+    GLOBAL.get_or_init(|| Engine::new(EngineConfig::default()))
+}
+
+/// The default on-disk cache location honoring `P10SIM_CACHE_DIR`.
+#[must_use]
+pub fn default_cache_dir() -> PathBuf {
+    std::env::var_os("P10SIM_CACHE_DIR")
+        .map_or_else(|| Path::new("target").join("p10sim-cache"), PathBuf::from)
+}
+
+/// [`Engine::run_jobs_par`] on the process-wide engine.
+pub fn run_jobs_par<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    engine().run_jobs_par(items, f)
+}
+
+/// [`Engine::run_benchmark`] on the process-wide engine.
+#[must_use]
+pub fn run_benchmark_cached(
+    cfg: &CoreConfig,
+    bench: &Benchmark,
+    seed: u64,
+    max_ops: u64,
+) -> ScenarioResult {
+    engine().run_benchmark(cfg, bench, seed, max_ops)
+}
+
+/// [`Engine::run_suite`] on the process-wide engine.
+#[must_use]
+pub fn run_suite_par(
+    cfg: &CoreConfig,
+    suite: &[Benchmark],
+    seed: u64,
+    max_ops: u64,
+) -> SuiteResult {
+    engine().run_suite(cfg, suite, seed, max_ops)
+}
+
+/// [`Engine::cached`] on the process-wide engine.
+pub fn cached<T, F>(label: &str, key: &str, compute: F) -> T
+where
+    T: Clone + Serialize + Deserialize + Send + Sync + 'static,
+    F: FnOnce() -> T,
+{
+    engine().cached(label, key, compute)
+}
+
+/// [`Engine::timed`] on the process-wide engine.
+pub fn timed<R>(label: &str, f: impl FnOnce() -> R) -> R {
+    engine().timed(label, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static UNIQ: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "p10sim-runner-{tag}-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let eng = Engine::new(EngineConfig {
+            jobs: 4,
+            ..EngineConfig::default()
+        });
+        let items: Vec<u64> = (0..100).collect();
+        let out = eng.run_jobs_par(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3
+        });
+        assert_eq!(out, (0..100).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn memo_skips_recompute() {
+        let eng = Engine::new(EngineConfig::default());
+        let calls = AtomicU32::new(0);
+        for _ in 0..3 {
+            let v: u64 = eng.cached("memo-test", "k", || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                7
+            });
+            assert_eq!(v, 7);
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn disk_cache_survives_a_fresh_engine() {
+        let dir = scratch_dir("disk");
+        let mk = || {
+            Engine::new(EngineConfig {
+                disk_cache: Some(dir.clone()),
+                ..EngineConfig::default()
+            })
+        };
+        let cold: Vec<f64> = mk().cached("cold", "point", || vec![1.5, 2.0, -3.25]);
+        let warm: Vec<f64> = mk().cached("warm", "point", || panic!("must hit the disk cache"));
+        assert_eq!(cold, warm);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vector for FNV-1a 64: hash of empty input is the
+        // offset basis; "a" is a published test value.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -43,14 +43,36 @@ impl ScenarioResult {
     }
 }
 
-/// Runs one workload: `threads(smt)` copies with distinct seeds.
+/// Runs one workload: `threads(smt)` copies with staggered start points,
+/// so SMT threads execute divergent instruction streams (like real
+/// rate-mode runs) instead of identical lock-step copies.
 #[must_use]
 pub fn run_workload(cfg: &CoreConfig, workload: &Workload, max_ops: u64) -> ScenarioResult {
-    let threads = cfg.smt.threads();
-    let traces = (0..threads)
-        .map(|_| workload.trace_or_panic(max_ops))
-        .collect::<Vec<_>>();
-    run_traces(cfg, &workload.name, traces)
+    run_traces(
+        cfg,
+        &workload.name,
+        staggered_traces(workload, cfg.smt.threads(), max_ops),
+    )
+}
+
+/// Builds `threads` equal-length traces of one workload, thread `t`
+/// starting `t * 997` dynamic instructions into the run.
+///
+/// A `Workload` is already synthesized (its generator seed is baked into
+/// the program and memory image), so per-thread variation comes from
+/// phase offsets rather than re-seeding: each thread replays the same
+/// program from a different point, which is how rate-mode copies actually
+/// interleave on hardware.
+#[must_use]
+pub fn staggered_traces(workload: &Workload, threads: usize, max_ops: u64) -> Vec<p10_isa::Trace> {
+    (0..threads)
+        .map(|t| {
+            let skip = t as u64 * 997;
+            let mut trace = workload.trace_or_panic(max_ops + skip);
+            trace.ops.drain(..trace.ops.len().min(skip as usize));
+            trace
+        })
+        .collect()
 }
 
 /// Runs one benchmark with per-thread seed variation (SMT threads run
@@ -122,15 +144,13 @@ impl SuiteResult {
 }
 
 /// Runs every benchmark of a suite on one configuration.
+///
+/// Routed through the [`crate::runner`] engine: benchmarks fan out across
+/// the worker pool and already-simulated points come from the cache, with
+/// results ordered exactly as the serial path would produce them.
 #[must_use]
 pub fn run_suite(cfg: &CoreConfig, suite: &[Benchmark], seed: u64, max_ops: u64) -> SuiteResult {
-    SuiteResult {
-        config: cfg.name.clone(),
-        results: suite
-            .iter()
-            .map(|b| run_benchmark(cfg, b, seed, max_ops))
-            .collect(),
-    }
+    crate::runner::run_suite_par(cfg, suite, seed, max_ops)
 }
 
 /// Suite-level comparison (new vs baseline) — the Table I quantities.
@@ -147,19 +167,54 @@ pub struct SuiteComparison {
 impl SuiteComparison {
     /// Compares `new` against `baseline` (per-benchmark ratio geomean for
     /// performance, mean-power ratio for power).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suites cover different benchmark sets — silently
+    /// dropping unmatched benchmarks would make `perf_ratio` a geomean
+    /// over a different set than `power_ratio`'s means (see
+    /// [`SuiteComparison::try_between`] for the checked form).
     #[must_use]
     pub fn between(baseline: &SuiteResult, new: &SuiteResult) -> SuiteComparison {
+        SuiteComparison::try_between(baseline, new).expect("suites must cover the same benchmarks")
+    }
+
+    /// Checked comparison: errors when the suites' benchmark sets differ,
+    /// naming the unmatched benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when a benchmark of `new`
+    /// is missing from `baseline` or vice versa.
+    pub fn try_between(
+        baseline: &SuiteResult,
+        new: &SuiteResult,
+    ) -> Result<SuiteComparison, String> {
+        let missing_from = |from: &SuiteResult, of: &SuiteResult| {
+            of.results
+                .iter()
+                .filter(|r| from.result(&r.workload).is_none())
+                .map(|r| r.workload.clone())
+                .collect::<Vec<_>>()
+        };
+        let no_baseline = missing_from(baseline, new);
+        let no_new = missing_from(new, baseline);
+        if !no_baseline.is_empty() || !no_new.is_empty() {
+            return Err(format!(
+                "mismatched suites: missing from baseline {no_baseline:?}, missing from new {no_new:?}"
+            ));
+        }
         let perf_ratio = geomean(new.results.iter().filter_map(|r| {
             baseline
                 .result(&r.workload)
                 .map(|b| r.ipc() / b.ipc().max(1e-12))
         }));
         let power_ratio = new.mean_core_power() / baseline.mean_core_power().max(1e-12);
-        SuiteComparison {
+        Ok(SuiteComparison {
             perf_ratio,
             power_ratio,
             efficiency_ratio: perf_ratio / power_ratio.max(1e-12),
-        }
+        })
     }
 }
 
@@ -224,6 +279,41 @@ mod tests {
         let r = run_benchmark(&cfg, b, 1, 5_000);
         assert_eq!(r.sim.threads, 4);
         assert_eq!(r.sim.activity.completed, 20_000);
+    }
+
+    #[test]
+    fn smt_threads_see_divergent_traces() {
+        let w = specint_like()[8].workload(1);
+        let traces = staggered_traces(&w, 4, 2_000);
+        assert_eq!(traces.len(), 4);
+        for t in &traces {
+            assert_eq!(t.ops.len(), 2_000);
+        }
+        let rendered: Vec<String> = traces
+            .iter()
+            .map(|t| serde_json::to_string(t).expect("json"))
+            .collect();
+        for i in 1..rendered.len() {
+            assert_ne!(
+                rendered[0], rendered[i],
+                "thread {i} must not replay thread 0's exact trace"
+            );
+        }
+        // Determinism still holds: rebuilding gives identical traces.
+        let again = staggered_traces(&w, 4, 2_000);
+        assert_eq!(serde_json::to_string(&again[3]).expect("json"), rendered[3]);
+    }
+
+    #[test]
+    fn mismatched_suites_are_rejected() {
+        let suite = specint_like();
+        let a = run_suite(&CoreConfig::power10(), &suite[8..9], 3, 5_000);
+        let b = run_suite(&CoreConfig::power9(), &suite[7..9], 3, 5_000);
+        let err = SuiteComparison::try_between(&a, &b).unwrap_err();
+        assert!(err.contains("mismatched suites"), "{err}");
+        assert!(err.contains(&suite[7].name), "{err}");
+        // And both orientations are checked.
+        assert!(SuiteComparison::try_between(&b, &a).is_err());
     }
 
     #[test]

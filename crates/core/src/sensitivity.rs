@@ -7,7 +7,8 @@
 //! the stream prefetcher, the long-history branch predictor, and the
 //! unified register file's clock-gating discipline.
 
-use crate::scenario::{geomean, run_benchmark};
+use crate::runner;
+use crate::scenario::geomean;
 use p10_uarch::CoreConfig;
 use p10_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -91,18 +92,12 @@ pub struct SensitivityRow {
 #[must_use]
 pub fn run_sensitivity(suite: &[Benchmark], seed: u64, ops: u64) -> Vec<SensitivityRow> {
     let base_cfg = CoreConfig::power10();
-    let base: Vec<_> = suite
-        .iter()
-        .map(|b| run_benchmark(&base_cfg, b, seed, ops))
-        .collect();
+    let base = runner::run_suite_par(&base_cfg, suite, seed, ops).results;
     DesignChoice::ALL
         .iter()
         .map(|&choice| {
             let cfg = choice.disabled_in(&base_cfg);
-            let disabled: Vec<_> = suite
-                .iter()
-                .map(|b| run_benchmark(&cfg, b, seed, ops))
-                .collect();
+            let disabled = runner::run_suite_par(&cfg, suite, seed, ops).results;
             let perf = geomean(
                 base.iter()
                     .zip(disabled.iter())

@@ -6,7 +6,7 @@
 //! instruction window, larger queues and doubled load/store bandwidth
 //! are what keep extra threads fed.
 
-use crate::scenario::run_benchmark;
+use crate::runner;
 use p10_uarch::{CoreConfig, SmtMode};
 use p10_workloads::Benchmark;
 use serde::{Deserialize, Serialize};
@@ -51,9 +51,10 @@ pub fn run_smt_scaling(suite: &[Benchmark], seed: u64, ops: u64) -> SmtScaling {
         for smt in [SmtMode::St, SmtMode::Smt2, SmtMode::Smt4] {
             let mut cfg = base.clone();
             cfg.smt = smt;
-            let mean_ipc: f64 = suite
+            let mean_ipc: f64 = runner::run_suite_par(&cfg, suite, seed, ops)
+                .results
                 .iter()
-                .map(|b| run_benchmark(&cfg, b, seed, ops).ipc())
+                .map(crate::scenario::ScenarioResult::ipc)
                 .sum::<f64>()
                 / suite.len().max(1) as f64;
             if smt == SmtMode::St {

@@ -9,6 +9,7 @@
 //! functional trace feed Simpoints; both project CPI and are compared to
 //! the full-run truth.
 
+use crate::runner;
 use p10_apex::run_apex;
 use p10_trace::simpoint::{bbv_intervals, simpoints};
 use p10_trace::tracepoints::{tracepoints, Epoch, TracepointConfig};
@@ -43,13 +44,19 @@ pub fn run_trace_study(
     epoch_ops: usize,
     clusters: usize,
 ) -> TraceStudy {
-    let trace = workload.trace_or_panic(total_ops);
-    let bbvs = bbv_intervals(&trace, epoch_ops, 64);
+    let trace = runner::timed(&format!("trace {} ops={total_ops}", workload.name), || {
+        workload.trace_or_panic(total_ops)
+    });
+    let bbvs = runner::timed("tracestudy bbv intervals", || {
+        bbv_intervals(&trace, epoch_ops, 64)
+    });
 
     // Timing epochs: drive the cycle model and cut windows at epoch_ops
     // completed instructions (approximated by small cycle windows folded
     // into per-epoch aggregates).
-    let report = run_apex(cfg, vec![trace], 64, total_ops * 40);
+    let report = runner::timed(&format!("apex {} @ {}", workload.name, cfg.name), || {
+        run_apex(cfg, vec![trace], 64, total_ops * 40)
+    });
     let mut epochs: Vec<Epoch> = Vec::new();
     let mut per_epoch_cpi: Vec<f64> = Vec::new();
     let mut acc = p10_uarch::Activity::default();

@@ -1,0 +1,240 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no registry access, so the workspace vendors
+//! the small API subset it actually uses: [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and [`Rng::gen`] / [`Rng::gen_range`]
+//! over integer and float ranges.
+//!
+//! The generator is xoshiro256++ (the same family rand 0.8's 64-bit
+//! `SmallRng` uses) seeded through SplitMix64, so streams are
+//! deterministic, well distributed, and stable across platforms. Exact
+//! bit-compatibility with upstream `rand` is *not* guaranteed — every
+//! consumer in this workspace treats the stream as an arbitrary but fixed
+//! function of the seed.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A generator seedable from a `u64` (the only construction p10sim uses).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed, expanding it with
+    /// SplitMix64 exactly like `rand_core`'s default implementation.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core randomness source: 64 uniformly random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// High-level sampling helpers over an [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value of type `T` (integers over their full
+    /// range, floats in `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples a bool that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types with a canonical "uniform over the whole domain" distribution.
+pub trait Standard: Sized {
+    /// Draws one sample from `rng`.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_lossless)]
+            fn sample<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 random mantissa bits scaled into [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample from `rng`, uniform over the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer sampling in `[0, span)` by rejection.
+fn sample_span<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Rejection zone keeps the modulo unbiased.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                let off = sample_span(rng, span);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap, clippy::cast_lossless)]
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = sample_span(rng, span + 1);
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty float range");
+                let x = <$t as Standard>::sample(rng);
+                self.start + x * (self.end - self.start)
+            }
+        }
+    )*};
+}
+impl_range_float!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion (rand_core's seed_from_u64).
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0usize..=4);
+            assert!(w <= 4);
+            let f = r.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = r.gen_range(-64i64..64);
+            assert!((-64..64).contains(&i));
+        }
+    }
+
+    #[test]
+    fn float_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

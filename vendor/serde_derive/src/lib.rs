@@ -1,0 +1,393 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! type shapes this workspace actually contains — non-generic structs
+//! (named, tuple, unit) and enums (unit, tuple, and struct variants) —
+//! directly on `proc_macro`, since `syn`/`quote` are not available
+//! offline. The generated code targets the simplified value-tree traits
+//! in the vendored `serde` crate.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (value-tree flavor).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavor).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("derive(Deserialize): generated code parses")
+}
+
+// ---- a minimal item model ----
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Body {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ---- parsing ----
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!(
+            "serde derive (vendored): generic types are not supported; found generics on `{name}`"
+        );
+    }
+    let body = match kind.as_str() {
+        "struct" => Body::Struct(parse_struct_fields(&tokens, i, &name)),
+        "enum" => Body::Enum(parse_variants(&tokens, i, &name)),
+        other => panic!("serde derive: cannot derive for `{other}` items"),
+    };
+    Item { name, body }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // `pub(crate)` etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn parse_struct_fields(tokens: &[TokenTree], i: usize, name: &str) -> Fields {
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde derive: unexpected struct body for `{name}`: {other:?}"),
+    }
+}
+
+/// Parses `attrs vis name: Type,` sequences, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected field name, found {other}"),
+        };
+        names.push(field);
+        // Skip `: Type` up to the next top-level comma. Commas inside
+        // generic arguments sit at this token level, so track `<`/`>`.
+        let mut angle = 0i32;
+        i += 1;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Counts fields of a tuple struct/variant (top-level comma segments).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing = false;
+    }
+    if trailing {
+        count -= 1; // `(A, B,)` — trailing comma opens no new field
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree], i: usize, name: &str) -> Vec<Variant> {
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde derive: expected enum body for `{name}`, found {other:?}"),
+    };
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant {
+            name: vname,
+            fields,
+        });
+        // Skip to the next variant (past explicit discriminants, if any).
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---- code generation ----
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Body::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Body::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", elems.join(", "))
+        }
+        Body::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(__v0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(__v0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__v{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__v{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct(Fields::Named(fields)) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::Error::custom(::std::format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "{f}: ::serde::__field(__obj, \"{f}\").map_err(|__e| __e.context(\"{name}.{f}\"))?,\n"
+                ));
+            }
+            s.push_str("})");
+            s
+        }
+        Body::Struct(Fields::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::__de(__v).map_err(|__e| __e.context(\"{name}\"))?))"
+        ),
+        Body::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::__de(&__a[{k}]).map_err(|__e| __e.context(\"{name}.{k}\"))?"))
+                .collect();
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(::std::format!(\"expected array for {name}, found {{}}\", __v.kind())))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"expected {n} elements for {name}, found {{}}\", __a.len()))); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::Struct(Fields::Unit) => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.fields {
+            Fields::Unit => unit_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+            )),
+            Fields::Tuple(1) => data_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::__de(__content).map_err(|__e| __e.context(\"{name}::{vn}\"))?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::__de(&__a[{k}]).map_err(|__e| __e.context(\"{name}::{vn}.{k}\"))?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __a = __content.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for variant {name}::{vn}\"))?;\n\
+                     if __a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}::{vn}\")); }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                    elems.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{f}: ::serde::__field(__obj, \"{f}\").map_err(|__e| __e.context(\"{name}::{vn}.{f}\"))?"
+                        )
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __obj = __content.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for variant {name}::{vn}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}},\n",
+                    inits.join(", ")
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+         }},\n\
+         ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+         let (__tag, __content) = &__m[0];\n\
+         let _ = __content;\n\
+         match __tag.as_str() {{\n\
+         {data_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"unknown variant `{{}}` for {name}\", __other))),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"invalid value for enum {name}: {{}}\", __other.kind()))),\n\
+         }}"
+    )
+}
