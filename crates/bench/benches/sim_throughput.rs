@@ -1,0 +1,172 @@
+//! `sim-throughput`: raw core-model scheduling throughput, reported as
+//! simulated Mcycles/s and simulated Mops/s for an ALU-bound, a
+//! cache-miss-bound, and an SMT4 workload, under both the `Polled`
+//! (reference) and `EventDriven` schedulers.
+//!
+//! Besides the human-readable table on stdout, the bench writes
+//! `BENCH_pipeline.json` (override the path with `P10SIM_BENCH_OUT`) so
+//! the simulator's performance trajectory is tracked across PRs.
+//!
+//! Run with `cargo bench -p p10-bench --bench sim_throughput`.
+
+use p10_isa::{Machine, ProgramBuilder, Reg, Trace};
+use p10_uarch::{Core, CoreConfig, Scheduler, SimResult, SmtMode};
+use serde::Serialize;
+use std::time::Instant;
+
+const MAX_CYCLES: u64 = 100_000_000;
+const SAMPLES: usize = 5;
+
+/// Independent adds in a counted loop: issue-width bound, almost no
+/// stall cycles — the event-driven scheduler's worst case.
+fn alu_bound(iters: i64) -> Trace {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::gpr(4), iters);
+    b.mtctr(Reg::gpr(4));
+    let top = b.bind_label();
+    for k in 0..8u16 {
+        let r = 5 + (k % 20);
+        b.addi(Reg::gpr(r), Reg::gpr(r), 1);
+    }
+    b.bdnz(top);
+    Machine::new()
+        .run(&b.build(), 50_000_000)
+        .expect("alu loop")
+}
+
+/// A dependent page-stride load chain: the next address depends on the
+/// loaded value (which is zero, so the walk stays a plain stride), so
+/// every iteration serializes behind a memory miss — nearly every cycle
+/// is idle, the fast-forward best case.
+fn cache_miss_bound(iters: i64, seed: u64) -> Trace {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::gpr(1), 0x20_0000 + (seed * 0x40_0000) as i64);
+    b.li(Reg::gpr(4), iters);
+    b.mtctr(Reg::gpr(4));
+    let top = b.bind_label();
+    b.ld(Reg::gpr(2), Reg::gpr(1), 0);
+    b.add(Reg::gpr(1), Reg::gpr(1), Reg::gpr(2)); // address <- loaded 0
+    b.addi(Reg::gpr(1), Reg::gpr(1), 4096); // new page/line every iter
+    b.bdnz(top);
+    Machine::new()
+        .run(&b.build(), 50_000_000)
+        .expect("chase loop")
+}
+
+struct Scenario {
+    name: &'static str,
+    cfg: CoreConfig,
+    traces: Vec<Trace>,
+}
+
+fn scenarios() -> Vec<Scenario> {
+    let p10 = CoreConfig::power10;
+    let mut no_prefetch = p10();
+    no_prefetch.prefetch_streams = 0;
+    let mut smt4 = p10();
+    smt4.smt = SmtMode::Smt4;
+    vec![
+        Scenario {
+            name: "alu_bound",
+            cfg: p10(),
+            traces: vec![alu_bound(40_000)],
+        },
+        Scenario {
+            name: "cache_miss_bound",
+            cfg: no_prefetch,
+            traces: vec![cache_miss_bound(20_000, 0)],
+        },
+        Scenario {
+            name: "smt4_mixed",
+            cfg: smt4,
+            traces: (0..4)
+                .map(|t| cache_miss_bound(6_000 + 500 * t, t as u64))
+                .collect(),
+        },
+    ]
+}
+
+#[derive(Debug, Serialize)]
+struct BenchResult {
+    workload: String,
+    scheduler: String,
+    threads: usize,
+    sim_cycles: u64,
+    sim_ops: u64,
+    wall_s: f64,
+    mcycles_per_s: f64,
+    mops_per_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    schema: String,
+    samples_per_point: u64,
+    results: Vec<BenchResult>,
+}
+
+fn run_once(cfg: &CoreConfig, traces: &[Trace]) -> SimResult {
+    Core::new(cfg.clone()).run(traces.to_vec(), MAX_CYCLES)
+}
+
+fn measure(s: &Scenario, scheduler: Scheduler) -> BenchResult {
+    let mut cfg = s.cfg.clone();
+    cfg.scheduler = scheduler;
+    let reference = run_once(&cfg, &s.traces); // warm-up + stats
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let r = run_once(&cfg, &s.traces);
+        let dt = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            r.activity.cycles, reference.activity.cycles,
+            "non-deterministic simulation"
+        );
+        best = best.min(dt);
+    }
+    let cycles = reference.activity.cycles;
+    let ops = reference.total_completed();
+    BenchResult {
+        workload: s.name.to_owned(),
+        scheduler: format!("{scheduler:?}"),
+        threads: s.traces.len(),
+        sim_cycles: cycles,
+        sim_ops: ops,
+        wall_s: best,
+        mcycles_per_s: cycles as f64 / best / 1e6,
+        mops_per_s: ops as f64 / best / 1e6,
+    }
+}
+
+fn main() {
+    let mut results = Vec::new();
+    println!(
+        "{:<18} {:<12} {:>12} {:>10} {:>12} {:>10}",
+        "workload", "scheduler", "sim cycles", "wall s", "Mcycles/s", "Mops/s"
+    );
+    for s in scenarios() {
+        let mut per_sched = Vec::new();
+        for sched in [Scheduler::Polled, Scheduler::EventDriven] {
+            let r = measure(&s, sched);
+            println!(
+                "{:<18} {:<12} {:>12} {:>10.4} {:>12.2} {:>10.2}",
+                r.workload, r.scheduler, r.sim_cycles, r.wall_s, r.mcycles_per_s, r.mops_per_s
+            );
+            per_sched.push(r);
+        }
+        let speedup = per_sched[0].wall_s / per_sched[1].wall_s;
+        println!("{:<18} event-driven speedup: {speedup:.2}x", s.name);
+        results.extend(per_sched);
+    }
+
+    let report = BenchReport {
+        schema: "p10sim-bench-pipeline/v1".to_owned(),
+        samples_per_point: SAMPLES as u64,
+        results,
+    };
+    let out =
+        std::env::var("P10SIM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_owned());
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json).expect("write bench report");
+    println!("wrote {out}");
+}

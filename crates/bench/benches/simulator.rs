@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use p10_bench::QUICK_OPS;
-use p10_uarch::{Core, CoreConfig, SmtMode};
+use p10_uarch::{Core, CoreConfig, Scheduler, SmtMode};
 use p10_workloads::specint_like;
 
 fn bench_simulator(c: &mut Criterion) {
@@ -12,10 +12,13 @@ fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     g.sample_size(10);
     g.throughput(Throughput::Elements(QUICK_OPS));
-    for cfg in [CoreConfig::power9(), CoreConfig::power10()] {
-        g.bench_function(format!("st/{}", cfg.name), |b| {
-            b.iter(|| Core::new(cfg.clone()).run(vec![trace.clone()], 10_000_000));
-        });
+    for scheduler in [Scheduler::Polled, Scheduler::EventDriven] {
+        for mut cfg in [CoreConfig::power9(), CoreConfig::power10()] {
+            cfg.scheduler = scheduler;
+            g.bench_function(format!("st/{}/{scheduler:?}", cfg.name), |b| {
+                b.iter(|| Core::new(cfg.clone()).run(vec![trace.clone()], 10_000_000));
+            });
+        }
     }
     let mut smt = CoreConfig::power10();
     smt.smt = SmtMode::Smt4;

@@ -19,6 +19,20 @@ pub enum FetchPolicy {
     ICount,
 }
 
+/// How the core model finds work each cycle. Both variants produce
+/// bit-identical [`crate::stats::SimResult`]s; they differ only in
+/// simulation speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheduler {
+    /// Reference implementation: scan the whole in-flight window every
+    /// cycle and poll every candidate's dependencies (O(window)/cycle).
+    Polled,
+    /// Completion calendar + dependency wakeup lists + idle-cycle
+    /// fast-forward: per-cycle work scales with what actually happens,
+    /// and stretches where nothing can happen are skipped in closed form.
+    EventDriven,
+}
+
 /// SMT mode: how many hardware threads share the core half.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SmtMode {
@@ -141,6 +155,9 @@ pub struct CoreConfig {
     pub smt: SmtMode,
     /// SMT fetch policy.
     pub fetch_policy: FetchPolicy,
+    /// Simulation-scheduler implementation (not a modeled structure; both
+    /// settings give bit-identical results).
+    pub scheduler: Scheduler,
 
     // ---- front end ----
     /// Instructions fetched per cycle per thread opportunity.
@@ -245,6 +262,7 @@ impl CoreConfig {
             name: "POWER9".to_owned(),
             smt: SmtMode::St,
             fetch_policy: FetchPolicy::ICount,
+            scheduler: Scheduler::EventDriven,
             fetch_width: 8,
             fetch_buffer: 32,
             decode_width: 6,

@@ -56,7 +56,8 @@ mod tlb;
 pub use branch::{BranchPredictor, Prediction};
 pub use cache::{Cache, HitLevel, MemHierarchy, StreamPrefetcher};
 pub use config::{
-    AblationGroup, BranchConfig, CacheConfig, CoreConfig, FetchPolicy, MmaConfig, SmtMode,
+    AblationGroup, BranchConfig, CacheConfig, CoreConfig, FetchPolicy, MmaConfig, Scheduler,
+    SmtMode,
 };
 pub use pipeline::Core;
 pub use stats::{Activity, SimResult};

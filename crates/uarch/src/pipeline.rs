@@ -14,12 +14,17 @@
 
 use crate::branch::BranchPredictor;
 use crate::cache::MemHierarchy;
-use crate::config::CoreConfig;
+use crate::config::{CoreConfig, Scheduler};
 use crate::stats::{Activity, SimResult};
 use crate::tlb::{Mmu, TranslateSide};
 use p10_isa::fusion::{self, FusionKind};
 use p10_isa::{DynOp, MmaKind, OpClass, Trace, ARCH_REG_COUNT, MAX_SRCS};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Per-cycle observer borrow threaded through the run loop (`None` when
+/// running unobserved).
+type Observer<'a> = Option<&'a mut dyn FnMut(u64, &Activity)>;
 
 const NO_SLOT: u32 = u32::MAX;
 
@@ -48,6 +53,11 @@ struct InFlight {
     /// of a fused pair that shares its head's entry).
     owns_sq: bool,
     active: bool,
+    /// Producers still outstanding (event-driven scheduler only).
+    waiting_on: u8,
+    /// All producers resolved and the op is still waiting to issue
+    /// (event-driven scheduler only; mirrors `deps_ready`).
+    ready: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -126,7 +136,13 @@ pub struct Core {
     threads: Vec<ThreadState>,
     slab: Vec<InFlight>,
     free_slots: Vec<u32>,
-    issue_order: VecDeque<u32>,
+    /// Program-order issue candidates as (slot, seq); an entry is live
+    /// while the slot still holds that seq and the op is waiting. The seq
+    /// tag lets the event-driven scheduler compact the queue lazily
+    /// without confusing a recycled slot with the op that vacated it.
+    issue_order: VecDeque<(u32, u64)>,
+    /// Entries of `issue_order` whose op already issued (lazy compaction).
+    issue_order_dead: usize,
     window_used: u32,
     issue_queue_used: u32,
     cycle: u64,
@@ -141,6 +157,20 @@ pub struct Core {
     lmq: Vec<u64>,
     drain_queue: VecDeque<PendingStore>,
     rr_offset: usize,
+    /// Completion calendar: (cycle an executing op transitions to Done,
+    /// slot), min-first. Event-driven scheduler only.
+    calendar: BinaryHeap<Reverse<(u64, u32)>>,
+    /// Per-producer-slot wakeup lists: (consumer slot, consumer seq)
+    /// registered at dispatch, fired on the producer's Done transition.
+    /// Event-driven scheduler only.
+    wakeup: Vec<Vec<(u32, u64)>>,
+    /// Number of waiting ops whose producers are all resolved.
+    /// Event-driven scheduler only.
+    ready_count: u32,
+    /// Scratch: threads with a mispredicted branch resolving this cycle.
+    scratch_resolved: Vec<(usize, u64)>,
+    /// Scratch: issue candidates for the current cycle.
+    scratch_slots: Vec<u32>,
 }
 
 impl Core {
@@ -156,6 +186,7 @@ impl Core {
             slab: Vec::new(),
             free_slots: Vec::new(),
             issue_order: VecDeque::new(),
+            issue_order_dead: 0,
             window_used: 0,
             issue_queue_used: 0,
             cycle: 0,
@@ -166,8 +197,17 @@ impl Core {
             lmq: Vec::new(),
             drain_queue: VecDeque::new(),
             rr_offset: 0,
+            calendar: BinaryHeap::new(),
+            wakeup: Vec::new(),
+            ready_count: 0,
+            scratch_resolved: Vec::new(),
+            scratch_slots: Vec::new(),
             cfg,
         }
+    }
+
+    fn event_driven(&self) -> bool {
+        self.cfg.scheduler == Scheduler::EventDriven
     }
 
     /// The configuration this core models.
@@ -184,22 +224,35 @@ impl Core {
     /// Panics if more traces are supplied than the configured SMT mode
     /// supports, or if no traces are supplied.
     pub fn run(self, traces: Vec<Trace>, max_cycles: u64) -> SimResult {
-        self.run_observed(traces, max_cycles, |_, _| {})
+        self.run_inner(traces, max_cycles, None)
     }
 
     /// Like [`Core::run`], but invokes `observer(cycle, &activity)` after
     /// every simulated cycle. This is the hook the RTLSim/APEX analogs use
     /// for per-cycle latch bookkeeping and periodic counter extraction.
     ///
+    /// With an observer attached, fast-forwarded idle stretches are
+    /// replayed one cycle at a time (with the same per-cycle accounting)
+    /// so the observer sees every cycle's cumulative activity.
+    ///
     /// # Panics
     ///
     /// Panics if more traces are supplied than the configured SMT mode
     /// supports, or if no traces are supplied.
     pub fn run_observed(
-        mut self,
+        self,
         traces: Vec<Trace>,
         max_cycles: u64,
         mut observer: impl FnMut(u64, &Activity),
+    ) -> SimResult {
+        self.run_inner(traces, max_cycles, Some(&mut observer))
+    }
+
+    fn run_inner(
+        mut self,
+        traces: Vec<Trace>,
+        max_cycles: u64,
+        mut observer: Observer<'_>,
     ) -> SimResult {
         assert!(!traces.is_empty(), "at least one thread trace required");
         assert!(
@@ -213,10 +266,16 @@ impl Core {
             .map(|t| ThreadState::new(t.ops))
             .collect();
 
+        let event_driven = self.event_driven();
         while self.cycle < max_cycles && !self.threads.iter().all(ThreadState::fully_done) {
             self.step();
             self.act.cycles = self.cycle;
-            observer(self.cycle, &self.act);
+            if let Some(obs) = observer.as_deref_mut() {
+                obs(self.cycle, &self.act);
+            }
+            if event_driven && self.cycle < max_cycles {
+                self.fast_forward(max_cycles, &mut observer);
+            }
         }
         self.act.cycles = self.cycle;
 
@@ -230,8 +289,25 @@ impl Core {
 
     fn step(&mut self) {
         self.cycle += 1;
-        // MMA power-gate bookkeeping: count powered cycles and gate the
-        // unit off after the firmware-selected idle window (§IV-A).
+        self.mma_gate_tick();
+        self.lmq.retain(|&t| t > self.cycle);
+        self.drain_stores();
+        self.complete();
+        match self.cfg.scheduler {
+            Scheduler::Polled => self.advance_execution_polled(),
+            Scheduler::EventDriven => self.advance_execution_event(),
+        }
+        self.issue();
+        self.decode_dispatch();
+        self.fetch();
+        self.act.window_occupancy_acc += u64::from(self.window_used);
+        self.rr_offset = self.rr_offset.wrapping_add(1);
+    }
+
+    /// MMA power-gate bookkeeping: count powered cycles and gate the unit
+    /// off after the firmware-selected idle window (§IV-A). Runs at the
+    /// top of every cycle, including fast-forwarded idle ones.
+    fn mma_gate_tick(&mut self) {
         if let (Some(ready), Some(mma)) = (self.mma_ready_at, self.cfg.mma) {
             self.act.mma_powered_cycles += 1;
             let idle_from = self.mma_last_use.max(ready);
@@ -239,13 +315,110 @@ impl Core {
                 self.mma_ready_at = None;
             }
         }
-        self.lmq.retain(|&t| t > self.cycle);
-        self.drain_stores();
-        self.complete();
-        self.advance_execution();
-        self.issue();
-        self.decode_dispatch();
-        self.fetch();
+    }
+
+    /// Idle-cycle fast-forward (event-driven scheduler). After a stepped
+    /// cycle, if nothing can drain, complete, execute, issue, dispatch or
+    /// fetch before some future cycle T, jump straight to T-1 and account
+    /// the skipped cycles in closed form — the exact state changes
+    /// cycle-by-cycle stepping would have made. With an observer attached
+    /// the skipped cycles are replayed individually instead so it sees
+    /// every cycle's cumulative activity.
+    fn fast_forward(&mut self, max_cycles: u64, observer: &mut Observer<'_>) {
+        // Anything actionable next cycle means no skip. A finished run
+        // must not skip either: the outer loop stops at the last worked
+        // cycle, exactly like the polled scheduler.
+        if !self.drain_queue.is_empty() {
+            return;
+        }
+        // Ready ops block the skip only if the select network can see
+        // them: an op past the lookahead reach cannot issue, and `issue`
+        // touches nothing (no MMA wake, no `active_cycles`) before the
+        // readiness test, so idling over it is exact. The candidate
+        // window is static across the skipped stretch — nothing
+        // dispatches, issues, retires or wakes before the horizon.
+        if self.ready_count != 0 && self.ready_within_reach() {
+            return;
+        }
+        if self.threads.iter().all(ThreadState::fully_done) {
+            return;
+        }
+        for t in &self.threads {
+            if let Some(&slot) = t.rob.front() {
+                if self.slab[slot as usize].state == UopState::Done {
+                    return; // retirement makes progress
+                }
+            }
+        }
+        // Idle until the earliest future event: a completion on the
+        // calendar or a fetch stall expiring.
+        let mut horizon = max_cycles.saturating_add(1);
+        if let Some(&Reverse((at, _))) = self.calendar.peek() {
+            horizon = horizon.min(at);
+        }
+        let mut dispatch_blocked_threads = 0u64;
+        for tid in 0..self.threads.len() {
+            if !self.threads[tid].fetch_buffer.is_empty() {
+                if self.plan_dispatch(tid).is_some() {
+                    return; // dispatch makes progress next cycle
+                }
+                dispatch_blocked_threads += 1;
+            }
+            let t = &self.threads[tid];
+            if !t.fetch_done()
+                && t.mispredict_pending.is_none()
+                && t.fetch_buffer.len() < self.cfg.fetch_buffer as usize
+            {
+                if t.fetch_stall_until > self.cycle + 1 {
+                    horizon = horizon.min(t.fetch_stall_until);
+                } else {
+                    return; // fetch makes progress next cycle
+                }
+            }
+        }
+        let target = (horizon - 1).min(max_cycles);
+        if target <= self.cycle {
+            return;
+        }
+
+        let skipped = target - self.cycle;
+        if let Some(obs) = observer.as_deref_mut() {
+            for _ in 0..skipped {
+                self.idle_tick(dispatch_blocked_threads);
+                self.act.cycles = self.cycle;
+                obs(self.cycle, &self.act);
+            }
+        } else {
+            // Closed-form equivalent of `skipped` idle_tick calls.
+            if let (Some(ready), Some(mma)) = (self.mma_ready_at, self.cfg.mma) {
+                let idle_from = self.mma_last_use.max(ready);
+                // mma_gate_tick counts the powered cycle before checking
+                // the gate, so the gate-off cycle itself is still powered.
+                let gate_off = idle_from + u64::from(mma.idle_gate_cycles) + 1;
+                debug_assert!(gate_off > self.cycle);
+                self.act.mma_powered_cycles += skipped.min(gate_off - self.cycle);
+                if target >= gate_off {
+                    self.mma_ready_at = None;
+                }
+            }
+            self.act.dispatch_stall_cycles += dispatch_blocked_threads * skipped;
+            self.act.window_occupancy_acc += u64::from(self.window_used) * skipped;
+            self.rr_offset = self.rr_offset.wrapping_add(skipped as usize);
+            self.cycle = target;
+        }
+        // `lmq` entries expiring inside the skipped stretch need no
+        // per-cycle action: the queue is only read by load issue, and the
+        // next real step's retain drops everything `<= cycle` first —
+        // identical to having stepped the retain each cycle.
+    }
+
+    /// One fast-forwarded idle cycle, stepped explicitly (observer mode):
+    /// exactly the state a full `step()` changes on a cycle where nothing
+    /// drains, completes, executes, issues, dispatches or fetches.
+    fn idle_tick(&mut self, dispatch_blocked_threads: u64) {
+        self.cycle += 1;
+        self.mma_gate_tick();
+        self.act.dispatch_stall_cycles += dispatch_blocked_threads;
         self.act.window_occupancy_acc += u64::from(self.window_used);
         self.rr_offset = self.rr_offset.wrapping_add(1);
     }
@@ -282,6 +455,11 @@ impl Core {
         e.active = false;
         let op = e.op;
         let seq = e.seq;
+        let owns_sq = u8::from(e.owns_sq);
+        debug_assert!(
+            !self.event_driven() || self.wakeup[slot as usize].is_empty(),
+            "retiring producer with unfired wakeups"
+        );
         self.threads[tid].rob.pop_front();
         self.free_slots.push(slot);
         self.window_used -= 1;
@@ -298,7 +476,6 @@ impl Core {
             }
             OpClass::Store => {
                 let m = op.mem.expect("store has mem");
-                let owns_sq = u8::from(self.slab[slot as usize].owns_sq);
                 // Store gathering: merge with the tail of the drain queue
                 // when adjacent (POWER10), retiring up to two SQ entries
                 // per cycle worth of work in one drain slot.
@@ -343,19 +520,30 @@ impl Core {
             self.threads[tid].sq_used = self.threads[tid]
                 .sq_used
                 .saturating_sub(u32::from(p.sq_entries));
-            // Remove from the forwarding window.
+            // Remove from the forwarding window. Stores retire — and
+            // therefore drain — in per-thread seq order, so the window's
+            // front holds everything up to `p.seq`: pop from the front
+            // instead of scanning. A merged drain slot carries the seq of
+            // its *oldest* store; its younger merged partners (which the
+            // scan version leaked forever) are swept out by the thread's
+            // next drain.
             let sw = &mut self.threads[tid].store_window;
-            if let Some(pos) = sw.iter().position(|&(s, ..)| s == p.seq) {
-                sw.remove(pos);
+            while let Some(&(s, ..)) = sw.front() {
+                if s > p.seq {
+                    break;
+                }
+                sw.pop_front();
             }
         }
     }
 
     // ---- execution progress ----
 
-    fn advance_execution(&mut self) {
+    /// Reference (polled) execution advance: scan the whole slab for ops
+    /// whose latency elapsed.
+    fn advance_execution_polled(&mut self) {
         let cycle = self.cycle;
-        let mut resolved: Vec<(usize, u64)> = Vec::new(); // (tid, fetch_cycle)
+        self.scratch_resolved.clear();
         for e in &mut self.slab {
             if !e.active {
                 continue;
@@ -364,12 +552,69 @@ impl Core {
                 if done_at <= cycle {
                     e.state = UopState::Done;
                     if e.mispredicted {
-                        resolved.push((usize::from(e.tid), e.fetch_cycle));
+                        self.scratch_resolved
+                            .push((usize::from(e.tid), e.fetch_cycle));
                     }
                 }
             }
         }
-        for (tid, fetch_cycle) in resolved {
+        self.resolve_mispredicts();
+    }
+
+    /// Event-driven execution advance: pop only the ops whose completion
+    /// fires this cycle off the calendar and wake their consumers.
+    fn advance_execution_event(&mut self) {
+        let cycle = self.cycle;
+        self.scratch_resolved.clear();
+        while let Some(&Reverse((at, slot))) = self.calendar.peek() {
+            if at > cycle {
+                break;
+            }
+            self.calendar.pop();
+            // Calendar entries are never stale: an executing op is pushed
+            // exactly once, and its slot can only be recycled after retire,
+            // which requires the Done transition made here first.
+            let e = &mut self.slab[slot as usize];
+            debug_assert!(e.active);
+            let UopState::Executing { done_at } = e.state else {
+                unreachable!("calendar entry for non-executing op")
+            };
+            debug_assert!(done_at <= cycle);
+            e.state = UopState::Done;
+            if e.mispredicted {
+                self.scratch_resolved
+                    .push((usize::from(e.tid), e.fetch_cycle));
+            }
+            self.fire_wakeups(slot);
+        }
+        self.resolve_mispredicts();
+    }
+
+    /// A producer became Done: notify the consumers registered against it.
+    fn fire_wakeups(&mut self, producer: u32) {
+        let mut list = std::mem::take(&mut self.wakeup[producer as usize]);
+        for (cslot, cseq) in list.drain(..) {
+            let c = &mut self.slab[cslot as usize];
+            // A consumer may have left Waiting already (fused-pair partner
+            // issued with its head); its remaining registrations are moot.
+            if c.active && c.seq == cseq && c.state == UopState::Waiting {
+                c.waiting_on -= 1;
+                if c.waiting_on == 0 {
+                    debug_assert!(!c.ready);
+                    c.ready = true;
+                    self.ready_count += 1;
+                }
+            }
+        }
+        // Hand the drained allocation back to the slot for reuse.
+        self.wakeup[producer as usize] = list;
+    }
+
+    /// Applies the fetch-redirect effects of mispredicted branches that
+    /// finished executing this cycle (collected in `scratch_resolved`).
+    fn resolve_mispredicts(&mut self) {
+        for i in 0..self.scratch_resolved.len() {
+            let (tid, fetch_cycle) = self.scratch_resolved[i];
             let t = &mut self.threads[tid];
             // Fetch stops at the first mispredicted branch, so at most one
             // is in flight per thread; resolving it unblocks fetch.
@@ -387,6 +632,7 @@ impl Core {
             self.act.wrong_path_fetched += window * u64::from(self.cfg.fetch_width) / 2;
             self.act.flushed += window * u64::from(self.cfg.fetch_width) / 2;
         }
+        self.scratch_resolved.clear();
     }
 
     // ---- issue ----
@@ -419,15 +665,40 @@ impl Core {
         let mut issued_any = false;
         let mut mma_active = false;
 
-        // Compact the issue-order queue lazily.
-        self.issue_order.retain(|&s| {
-            let e = &self.slab[s as usize];
-            e.active && e.state == UopState::Waiting
-        });
+        let event_driven = self.event_driven();
+        if event_driven {
+            self.compact_issue_order();
+            if self.ready_count == 0 {
+                // No waiting op has its producers resolved, so nothing can
+                // issue and none of the side effects below (MMA demand
+                // wake, wake-stall accounting) can trigger either.
+                return;
+            }
+        } else {
+            // Reference behavior: compact the queue every cycle.
+            let slab = &self.slab;
+            self.issue_order.retain(|&(s, q)| {
+                let e = &slab[s as usize];
+                e.active && e.seq == q && e.state == UopState::Waiting
+            });
+            self.issue_order_dead = 0;
+        }
 
+        // The scheduler considers the oldest `reach` still-waiting ops —
+        // ready or not — mirroring a real select network's span.
         let reach = self.cfg.issue_lookahead.max(1) as usize;
-        let order: Vec<u32> = self.issue_order.iter().take(reach).copied().collect();
-        for slot in order {
+        self.scratch_slots.clear();
+        for &(s, q) in &self.issue_order {
+            if self.scratch_slots.len() >= reach {
+                break;
+            }
+            let e = &self.slab[s as usize];
+            if e.active && e.seq == q && e.state == UopState::Waiting {
+                self.scratch_slots.push(s);
+            }
+        }
+        for i in 0..self.scratch_slots.len() {
+            let slot = self.scratch_slots[i];
             let (class, tid) = {
                 let e = &self.slab[slot as usize];
                 if !e.active || e.state != UopState::Waiting {
@@ -435,7 +706,14 @@ impl Core {
                 }
                 (e.op.class, usize::from(e.tid))
             };
-            if !self.deps_ready(slot, None) {
+            let ready = if event_driven {
+                let r = self.slab[slot as usize].ready;
+                debug_assert_eq!(r, self.deps_ready(slot, None));
+                r
+            } else {
+                self.deps_ready(slot, None)
+            };
+            if !ready {
                 continue;
             }
 
@@ -603,6 +881,51 @@ impl Core {
         }
     }
 
+    /// Lazy issue-order compaction (event-driven scheduler): drop dead
+    /// entries from the front, and rebuild the queue once more than half
+    /// of it is dead so candidate enumeration stays O(lookahead).
+    fn compact_issue_order(&mut self) {
+        let slab = &self.slab;
+        let live = |&(s, q): &(u32, u64)| -> bool {
+            let e = &slab[s as usize];
+            e.active && e.seq == q && e.state == UopState::Waiting
+        };
+        while let Some(front) = self.issue_order.front() {
+            if live(front) {
+                break;
+            }
+            self.issue_order.pop_front();
+            self.issue_order_dead = self.issue_order_dead.saturating_sub(1);
+        }
+        if self.issue_order_dead * 2 > self.issue_order.len() {
+            self.issue_order.retain(live);
+            self.issue_order_dead = 0;
+        }
+    }
+
+    /// Whether any ready op sits inside the issue-lookahead window, i.e.
+    /// among the oldest `reach` still-waiting entries of `issue_order` —
+    /// the same candidate set `issue` enumerates. Ready ops beyond it
+    /// (say, a resolved branch queued behind a long miss chain) cannot
+    /// issue and do not make the cycle actionable.
+    fn ready_within_reach(&self) -> bool {
+        let reach = self.cfg.issue_lookahead.max(1) as usize;
+        let mut seen = 0usize;
+        for &(s, q) in &self.issue_order {
+            if seen >= reach {
+                break;
+            }
+            let e = &self.slab[s as usize];
+            if e.active && e.seq == q && e.state == UopState::Waiting {
+                if e.ready {
+                    return true;
+                }
+                seen += 1;
+            }
+        }
+        false
+    }
+
     /// Whether the MMA unit is powered and ready this cycle.
     fn mma_powered_on(&self) -> bool {
         self.mma_ready_at.is_some_and(|r| r <= self.cycle)
@@ -616,17 +939,37 @@ impl Core {
         }
     }
 
-    fn start_execution(&mut self, slot: u32, done_at: u64) {
+    /// State bookkeeping shared by both execution-start paths: the
+    /// Waiting→Executing transition plus the event-driven scheduler's
+    /// calendar insertion and ready-count maintenance.
+    fn begin_execution(&mut self, slot: u32, done_at: u64) {
         let e = &mut self.slab[slot as usize];
+        debug_assert_eq!(e.state, UopState::Waiting);
         e.state = UopState::Executing { done_at };
-        let srcs = e.op.sources().count() as u64;
-        let class = e.op.class;
-        let flops = u64::from(e.op.flops);
+        if e.ready {
+            e.ready = false;
+            self.ready_count -= 1;
+        }
         // Issue-queue entry is freed once the op issues (reservation
         // stations and issue queues alike hold ops only until issue).
         if !e.is_pair_second {
             self.issue_queue_used = self.issue_queue_used.saturating_sub(1);
         }
+        self.issue_order_dead += 1;
+        if self.event_driven() {
+            // Ops whose latency already elapsed (Nop/Hint complete "this"
+            // cycle) are still observed Done only on the next advance.
+            self.calendar
+                .push(Reverse((done_at.max(self.cycle + 1), slot)));
+        }
+    }
+
+    fn start_execution(&mut self, slot: u32, done_at: u64) {
+        self.begin_execution(slot, done_at);
+        let e = &self.slab[slot as usize];
+        let srcs = e.op.sources().count() as u64;
+        let class = e.op.class;
+        let flops = u64::from(e.op.flops);
         self.act.issued += 1;
         self.act.regfile_reads += srcs;
         match class {
@@ -653,11 +996,7 @@ impl Core {
     /// Start execution without re-counting regfile reads/unit ops (used for
     /// the fused partner whose counting is handled at the call site).
     fn start_execution_quiet(&mut self, slot: u32, done_at: u64) {
-        let e = &mut self.slab[slot as usize];
-        e.state = UopState::Executing { done_at };
-        if !e.is_pair_second {
-            self.issue_queue_used = self.issue_queue_used.saturating_sub(1);
-        }
+        self.begin_execution(slot, done_at);
     }
 
     fn issue_load(&mut self, slot: u32, tid: usize) -> u64 {
@@ -779,7 +1118,12 @@ impl Core {
         }
     }
 
-    fn try_dispatch_one(&mut self, tid: usize) -> DispatchOutcome {
+    /// Checks whether the head of `tid`'s fetch buffer (plus fused
+    /// partner) fits the window/issue-queue/LQ/SQ this cycle, returning
+    /// the dispatch footprint, or `None` when a resource blocks. Pure —
+    /// shared by [`Core::try_dispatch_one`] and the fast-forward
+    /// dispatch-progress check.
+    fn plan_dispatch(&self, tid: usize) -> Option<DispatchPlan> {
         // Peek head (and successor for fusion).
         let (head_op, fuse) = {
             let t = &self.threads[tid];
@@ -796,7 +1140,7 @@ impl Core {
         let pair_count: u32 = if fuse.is_some() { 2 } else { 1 };
         // Resource checks.
         if self.window_used + pair_count > self.cfg.itable_entries {
-            return DispatchOutcome::Blocked;
+            return None;
         }
         let iq_needed = match fuse {
             Some(k) if k.single_issue_entry() => 1,
@@ -804,7 +1148,7 @@ impl Core {
             None => 1,
         };
         if self.issue_queue_used + iq_needed > self.cfg.issue_queue_entries {
-            return DispatchOutcome::Blocked;
+            return None;
         }
         // LQ/SQ checks for head (+ partner).
         let needs_lq = |op: &DynOp| u32::from(op.is_load());
@@ -827,19 +1171,33 @@ impl Core {
         if t.lq_used + lq_need > self.cfg.load_queue_per_thread()
             || t.sq_used + sq_need > self.cfg.store_queue_per_thread()
         {
-            return DispatchOutcome::Blocked;
+            return None;
         }
+        Some(DispatchPlan {
+            head_op,
+            fuse,
+            second_op,
+            lq_need,
+            sq_need,
+        })
+    }
+
+    fn try_dispatch_one(&mut self, tid: usize) -> DispatchOutcome {
+        let Some(plan) = self.plan_dispatch(tid) else {
+            return DispatchOutcome::Blocked;
+        };
 
         // Commit: pop and install.
         let head = self.threads[tid].fetch_buffer.pop_front().expect("checked");
         let head_slot = self.install(tid, head, false, true);
-        self.threads[tid].lq_used += lq_need;
-        self.threads[tid].sq_used += sq_need;
-        if let Some(kind) = fuse {
+        self.threads[tid].lq_used += plan.lq_need;
+        self.threads[tid].sq_used += plan.sq_need;
+        if let Some(kind) = plan.fuse {
             let second_owns_sq = !(kind == FusionKind::StorePair
-                && second_op
+                && plan
+                    .second_op
                     .as_ref()
-                    .is_some_and(|s| fusion::store_pair_single_sq_entry(&head_op, s)));
+                    .is_some_and(|s| fusion::store_pair_single_sq_entry(&plan.head_op, s)));
             let second = self.threads[tid].fetch_buffer.pop_front().expect("checked");
             let second_slot = self.install(tid, second, kind.single_issue_entry(), second_owns_sq);
             self.slab[head_slot as usize].pair = second_slot;
@@ -869,6 +1227,17 @@ impl Core {
                 }
             }
         }
+        // Producers not yet Done must wake this op when they finish
+        // (event-driven scheduler); already-resolved deps need no tracking.
+        let mut waiting_on = 0u8;
+        if self.event_driven() {
+            for &(pslot, _) in &deps {
+                if pslot != NO_SLOT && self.slab[pslot as usize].state != UopState::Done {
+                    waiting_on += 1;
+                }
+            }
+        }
+        let ready = self.event_driven() && waiting_on == 0;
         let entry = InFlight {
             op: f.op,
             tid: tid as u8,
@@ -881,7 +1250,12 @@ impl Core {
             is_pair_second,
             owns_sq,
             active: true,
+            waiting_on,
+            ready,
         };
+        if ready {
+            self.ready_count += 1;
+        }
         let slot = match self.free_slots.pop() {
             Some(s) => {
                 self.slab[s as usize] = entry;
@@ -889,9 +1263,18 @@ impl Core {
             }
             None => {
                 self.slab.push(entry);
+                self.wakeup.push(Vec::new());
                 (self.slab.len() - 1) as u32
             }
         };
+        if self.event_driven() && waiting_on > 0 {
+            debug_assert!(self.wakeup[slot as usize].is_empty());
+            for &(pslot, _) in &deps {
+                if pslot != NO_SLOT && self.slab[pslot as usize].state != UopState::Done {
+                    self.wakeup[pslot as usize].push((slot, seq));
+                }
+            }
+        }
         // Update rename map for destinations.
         let t = &mut self.threads[tid];
         if let Some(d) = f.op.dest() {
@@ -909,7 +1292,7 @@ impl Core {
         if !is_pair_second {
             self.issue_queue_used += 1;
         }
-        self.issue_order.push_back(slot);
+        self.issue_order.push_back((slot, seq));
         slot
     }
 
@@ -1023,6 +1406,16 @@ impl Core {
 enum DispatchOutcome {
     Dispatched { fused: bool },
     Blocked,
+}
+
+/// Resource footprint of dispatching one fetch-buffer head (+ partner).
+#[derive(Debug, Clone, Copy)]
+struct DispatchPlan {
+    head_op: DynOp,
+    fuse: Option<FusionKind>,
+    second_op: Option<DynOp>,
+    lq_need: u32,
+    sq_need: u32,
 }
 
 #[cfg(test)]

@@ -233,6 +233,12 @@ impl SimResult {
     pub fn cpi(&self) -> f64 {
         self.activity.cpi()
     }
+
+    /// Total dynamic ops completed across all threads.
+    #[must_use]
+    pub fn total_completed(&self) -> u64 {
+        self.per_thread_completed.iter().sum()
+    }
 }
 
 #[cfg(test)]
