@@ -131,6 +131,11 @@ pub struct SpeedupReport {
     pub apex_secs: f64,
     /// Detailed / accelerated ratio.
     pub speedup: f64,
+    /// Cycles the accelerated run simulated (deterministic, unlike the
+    /// wall-clock fields — what byte-identical output checks can print).
+    pub cycles: u64,
+    /// Counter windows the accelerated run extracted (deterministic).
+    pub windows: u64,
 }
 
 /// Measures the extraction speedup on one workload trace.
@@ -150,13 +155,15 @@ pub fn measure_speedup(cfg: &CoreConfig, trace: &p10_isa::Trace, max_cycles: u64
     let detailed_secs = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let _ = run_apex(cfg, vec![trace.clone()], 4096, max_cycles);
+    let apex = run_apex(cfg, vec![trace.clone()], 4096, max_cycles);
     let apex_secs = t1.elapsed().as_secs_f64();
 
     SpeedupReport {
         detailed_secs,
         apex_secs,
         speedup: detailed_secs / apex_secs.max(1e-9),
+        cycles: apex.sim.activity.cycles,
+        windows: apex.windows.len() as u64,
     }
 }
 

@@ -2,16 +2,20 @@
 //!
 //! Usage:
 //! ```text
-//! figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache]
+//! figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--trace-out FILE]
 //! ```
 //! `--out DIR` captures each experiment's stdout into `DIR/<exp>.json`
 //! as well as printing it. `--jobs N` sets the worker-pool width
 //! (default: all CPUs) and `--no-cache` disables the on-disk result
 //! cache (`target/p10sim-cache`, override with `P10SIM_CACHE_DIR`); see
-//! `p10_core::runner`. `<experiment>` is one of: `table1 fig2 fig4 fig5
-//! fig6 socket fig10 fig11 fig12 fig13 fig14 fig15a fig15b flushes
-//! coverage apex-speedup wof tracepoints sensitivity smt tracking droop
-//! all`.
+//! `p10_core::runner`. `--trace-out FILE` (or the `P10SIM_TRACE` env
+//! var) writes a JSON-lines event trace via `p10_obs`; either way an
+//! end-of-run summary table lands on stderr. `<experiment>` is one of:
+//! `table1 fig2 fig4 fig5 fig6 socket fig10 fig11 fig12 fig13 fig14
+//! fig15a fig15b flushes coverage apex-speedup wof tracepoints
+//! sensitivity smt tracking droop profile all` — `profile` (the
+//! cycle-attribution tables) runs on demand only and is not part of
+//! `all`, which keeps `all`'s stdout stable across additions.
 
 use p10_bench::{suite, FULL_OPS};
 use p10_core::powerstudies::{build_dataset, run_fig11, run_fig12, run_fig15a, run_fig15b, Target};
@@ -54,12 +58,15 @@ struct Opts {
     out: Option<std::path::PathBuf>,
     jobs: usize,
     no_cache: bool,
+    trace_out: Option<std::path::PathBuf>,
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache]");
-    eprintln!("experiments: {} all", EXPERIMENTS.join(" "));
+    eprintln!(
+        "usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--trace-out FILE]"
+    );
+    eprintln!("experiments: {} profile all", EXPERIMENTS.join(" "));
     std::process::exit(2);
 }
 
@@ -74,6 +81,7 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         out: None,
         jobs: 0,
         no_cache: false,
+        trace_out: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -106,12 +114,15 @@ fn parse_args(args: &[String]) -> (String, Opts) {
                 }
             }
             "--out" => opts.out = Some(std::path::PathBuf::from(flag_value("--out"))),
+            "--trace-out" => {
+                opts.trace_out = Some(std::path::PathBuf::from(flag_value("--trace-out")));
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
             exp => {
                 if what.is_some() {
                     usage_error(&format!("more than one experiment given ('{exp}')"));
                 }
-                if exp != "all" && !EXPERIMENTS.contains(&exp) {
+                if exp != "all" && exp != "profile" && !EXPERIMENTS.contains(&exp) {
                     usage_error(&format!("unknown experiment '{exp}'"));
                 }
                 what = Some(exp.to_owned());
@@ -145,8 +156,11 @@ fn write_artifact(opts: &Opts, name: &str) {
     if opts.no_cache {
         args.push("--no-cache".to_owned());
     }
+    // The child is a throwaway re-run for the JSON payload: never let it
+    // append to (or clobber) the parent's trace file.
     let output = std::process::Command::new(exe)
         .args(&args)
+        .env_remove("P10SIM_TRACE")
         .output()
         .expect("re-run experiment for artifact");
     assert!(
@@ -175,6 +189,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (what, opts) = parse_args(&args);
 
+    // Observability first, so every later span/counter lands in the same
+    // recorder. The trace sink comes from --trace-out, else P10SIM_TRACE.
+    let trace_path = opts
+        .trace_out
+        .clone()
+        .or_else(|| std::env::var_os("P10SIM_TRACE").map(std::path::PathBuf::from));
+    p10_obs::init(&p10_obs::ObsConfig { trace_path });
+
     // All experiment drivers run on the shared engine: a worker pool plus
     // in-process memo and (unless --no-cache) the on-disk result cache.
     runner::configure(runner::EngineConfig {
@@ -199,7 +221,7 @@ fn main() {
     };
 
     for e in experiments {
-        let started = std::time::Instant::now();
+        let sp = p10_obs::span(e);
         match e {
             "table1" => do_table1(&opts),
             "fig2" => do_fig2(&opts),
@@ -223,12 +245,19 @@ fn main() {
             "smt" => do_smt(&opts),
             "tracking" => do_tracking(&opts),
             "droop" => do_droop(&opts),
+            "profile" => do_profile(&opts),
             // parse_args validated the experiment name already.
             other => unreachable!("unvalidated experiment '{other}'"),
         }
-        eprintln!("[figures] {e}: {:.2}s", started.elapsed().as_secs_f64());
+        let secs = sp.finish();
+        eprintln!("[figures] {e}: {secs:.2}s");
         write_artifact(&opts, e);
     }
+
+    // Flush thread-local buffers and print the run summary (phase wall
+    // times, cache layer hits, per-worker job counts) on stderr — stdout
+    // stays reserved for the deterministic experiment output.
+    eprint!("{}", p10_obs::render_summary(&p10_obs::summary()));
 }
 
 fn header(title: &str, paper: &str) {
@@ -703,14 +732,74 @@ fn do_apex_speedup(o: &Opts) {
     let b = &suite()[8];
     let t = b.workload(5).trace_or_panic(o.ops / 2);
     let s = p10_apex::measure_speedup(&CoreConfig::power10(), &t, 10_000_000);
+    // Wall-clock numbers vary run to run; they go to the obs summary on
+    // stderr so stdout stays byte-identical across runs.
+    p10_obs::gauge("apex.detailed_s", s.detailed_secs);
+    p10_obs::gauge("apex.apex_s", s.apex_secs);
+    p10_obs::gauge("apex.speedup", s.speedup);
+    eprintln!(
+        "[figures] apex-speedup wall clock: detailed {:.3}s vs APEX {:.3}s -> {:.1}x",
+        s.detailed_secs, s.apex_secs, s.speedup
+    );
     if o.json {
-        println!("{}", serde_json::to_string_pretty(&s).expect("json"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&json!({
+                "cycles": s.cycles,
+                "windows": s.windows,
+            }))
+            .expect("json")
+        );
         return;
     }
     println!(
-        "detailed {:.3}s vs APEX {:.3}s -> {:.1}x speedup",
-        s.detailed_secs, s.apex_secs, s.speedup
+        "APEX extracted {} counter windows over {} cycles (detailed run reads every cycle)",
+        s.windows, s.cycles
     );
+}
+
+fn do_profile(o: &Opts) {
+    header(
+        "Cycle-attribution profile",
+        "SS III methodology turned on the simulator itself: where cycles go",
+    );
+    let configs = [CoreConfig::power9(), CoreConfig::power10()];
+    let rows = p10_core::cycleprof::run_profile(&configs, &suite(), 42, o.ops);
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+        return;
+    }
+    println!(
+        "{:<16} {:<10} {:>12} {:>6} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "workload",
+        "config",
+        "cycles",
+        "IPC",
+        "active",
+        "mma",
+        "mem",
+        "issue",
+        "disp",
+        "fetch",
+        "idle"
+    );
+    for r in &rows {
+        let a = r.attribution;
+        println!(
+            "{:<16} {:<10} {:>12} {:>6.2} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}%",
+            r.workload,
+            r.config,
+            r.cycles,
+            r.ipc,
+            r.share(a.active),
+            r.share(a.mma_gated),
+            r.share(a.memory_bound),
+            r.share(a.issue_limited),
+            r.share(a.dispatch_stalled),
+            r.share(a.fetch_stalled),
+            r.share(a.idle)
+        );
+    }
 }
 
 fn do_wof(o: &Opts) {

@@ -49,6 +49,30 @@ fn malformed_jobs_fails_loudly() {
     assert_usage_error(&["table1", "--jobs", "0"], "--jobs must be positive");
 }
 
+/// The JSON payload printed after the human-readable header: everything
+/// from the first '{'/'[' line to the end of stdout.
+fn json_payload(stdout: &str) -> serde_json::Value {
+    let start = stdout
+        .lines()
+        .scan(0usize, |off, line| {
+            let this = *off;
+            *off += line.len() + 1;
+            Some((this, line))
+        })
+        .find(|(_, l)| l.starts_with('{') || l.starts_with('['))
+        .map(|(off, _)| off)
+        .expect("JSON payload on stdout");
+    serde_json::from_str(&stdout[start..]).expect("payload parses as JSON")
+}
+
+/// An object field that must be an unsigned integer.
+fn field_u64(v: &serde_json::Value, key: &str) -> u64 {
+    match v.get(key) {
+        Some(serde_json::Value::U64(n)) => *n,
+        other => panic!("field {key} must be u64, got {other:?}"),
+    }
+}
+
 #[test]
 fn quick_experiment_runs_parallel_with_progress() {
     // fig2 is analytic (no core-model simulation), so it is fast even in
@@ -67,18 +91,102 @@ fn quick_experiment_runs_parallel_with_progress() {
         stderr.contains("[figures] fig2:"),
         "per-experiment timing line missing: {stderr}"
     );
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    // The payload is pretty-printed after the human-readable header:
-    // everything from the first '{'/'[' line to the end of stdout.
-    let start = stdout
-        .lines()
-        .scan(0usize, |off, line| {
-            let this = *off;
-            *off += line.len() + 1;
-            Some((this, line))
-        })
-        .find(|(_, l)| l.starts_with('{') || l.starts_with('['))
-        .map(|(off, _)| off)
-        .expect("JSON payload on stdout");
-    serde_json::from_str::<serde_json::Value>(&stdout[start..]).expect("payload parses as JSON");
+    assert!(
+        stderr.contains("[obs] ---- run summary ----"),
+        "end-of-run obs summary missing: {stderr}"
+    );
+    json_payload(&String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn apex_speedup_stdout_is_deterministic() {
+    // Wall-clock timings moved to stderr/obs; two cold runs must print
+    // byte-identical stdout (the cycles/windows line is simulation state).
+    let run = || {
+        let out = figures()
+            .args(["apex-speedup", "--ops", "4000", "--no-cache"])
+            .output()
+            .expect("run figures");
+        assert!(out.status.success(), "apex-speedup run failed: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("apex-speedup wall clock"),
+            "wall-clock line must move to stderr"
+        );
+        out.stdout
+    };
+    let first = run();
+    assert!(
+        String::from_utf8_lossy(&first).contains("counter windows over"),
+        "deterministic summary line missing: {}",
+        String::from_utf8_lossy(&first)
+    );
+    assert_eq!(
+        first,
+        run(),
+        "apex-speedup stdout must not vary between identical runs"
+    );
+}
+
+#[test]
+fn profile_reports_buckets_that_sum_to_cycles() {
+    let out = figures()
+        .args(["profile", "--json", "--ops", "2000", "--no-cache"])
+        .output()
+        .expect("run figures");
+    assert!(out.status.success(), "profile run failed: {out:?}");
+    let payload = json_payload(&String::from_utf8_lossy(&out.stdout));
+    let rows = payload.as_array().expect("profile payload is an array");
+    assert!(!rows.is_empty(), "profile must produce rows");
+    for row in rows {
+        let cycles = field_u64(row, "cycles");
+        let attr = row
+            .get("attribution")
+            .and_then(serde_json::Value::as_object)
+            .expect("attribution object");
+        let total: u64 = attr
+            .iter()
+            .map(|(k, v)| match v {
+                serde_json::Value::U64(n) => *n,
+                other => panic!("bucket {k} must be u64, got {other:?}"),
+            })
+            .sum();
+        assert_eq!(
+            total, cycles,
+            "attribution buckets must partition the cycles: {row:?}"
+        );
+    }
+}
+
+#[test]
+fn trace_out_writes_valid_json_lines() {
+    let path = std::env::temp_dir().join(format!("p10sim-trace-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let out = figures()
+        .args(["fig2", "--json", "--no-cache", "--trace-out"])
+        .arg(&path)
+        .output()
+        .expect("run figures");
+    assert!(out.status.success(), "traced fig2 run failed: {out:?}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    assert!(!text.is_empty(), "trace file must contain events");
+    for line in text.lines() {
+        let event: serde_json::Value =
+            serde_json::from_str(line).unwrap_or_else(|e| panic!("bad trace line {line:?}: {e}"));
+        field_u64(&event, "t_us");
+        field_u64(&event, "thread");
+        assert!(
+            event
+                .get("kind")
+                .and_then(serde_json::Value::as_object)
+                .is_some(),
+            "event missing kind: {line}"
+        );
+    }
+    // The experiment span must be among the events.
+    assert!(
+        text.lines()
+            .any(|l| l.contains("\"Span\"") && l.contains("fig2")),
+        "fig2 span event missing from trace"
+    );
 }

@@ -15,6 +15,8 @@
 //! * [`flush`] — the wasted-instruction (flush-reduction) study.
 //! * [`runner`] — the parallel experiment engine and result cache every
 //!   driver runs on.
+//! * [`cycleprof`] — the `figures profile` experiment: per-workload
+//!   cycle-attribution tables from the pipeline's always-on counters.
 //!
 //! ## Quickstart
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cycleprof;
 pub mod flush;
 pub mod gemm;
 pub mod inference;

@@ -28,7 +28,7 @@ use serde::{Deserialize, Serialize};
 use std::any::Any;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -44,21 +44,55 @@ pub struct EngineConfig {
     pub progress: bool,
 }
 
+/// Snapshot of an [`Engine`]'s cache-layer activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheCounts {
+    /// In-process memo hits.
+    pub memo_hits: u64,
+    /// On-disk cache hits.
+    pub disk_hits: u64,
+    /// Points actually simulated (both caches missed).
+    pub computes: u64,
+    /// Disk entries that existed but failed to deserialize (corrupt or
+    /// stale format) and were recomputed.
+    pub disk_decode_errors: u64,
+}
+
+#[derive(Default)]
+struct CacheStats {
+    memo_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    computes: AtomicU64,
+    disk_decode_errors: AtomicU64,
+}
+
 /// The execution engine: a worker-pool runner plus the two cache layers.
 pub struct Engine {
     jobs: usize,
     disk_cache: Option<PathBuf>,
     progress: bool,
     memo: Mutex<HashMap<String, Box<dyn Any + Send + Sync>>>,
-    job_counter: AtomicUsize,
+    stats: CacheStats,
+}
+
+/// Parses a `P10SIM_JOBS`-style value: a positive worker count, or `None`
+/// for anything absent or unparseable.
+fn jobs_from_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
 impl Engine {
-    /// Builds an engine from a configuration.
+    /// Builds an engine from a configuration. A `jobs` of `0` defers to
+    /// the `P10SIM_JOBS` environment variable, then to one worker per
+    /// available CPU.
     #[must_use]
     pub fn new(config: EngineConfig) -> Self {
         let jobs = if config.jobs == 0 {
-            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            jobs_from_env(std::env::var("P10SIM_JOBS").ok().as_deref()).unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            })
         } else {
             config.jobs
         };
@@ -67,7 +101,7 @@ impl Engine {
             disk_cache: config.disk_cache,
             progress: config.progress,
             memo: Mutex::new(HashMap::new()),
-            job_counter: AtomicUsize::new(0),
+            stats: CacheStats::default(),
         }
     }
 
@@ -75,6 +109,28 @@ impl Engine {
     #[must_use]
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// The effective configuration this engine was built with (`jobs`
+    /// already resolved to a concrete worker count).
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        EngineConfig {
+            jobs: self.jobs,
+            disk_cache: self.disk_cache.clone(),
+            progress: self.progress,
+        }
+    }
+
+    /// Cache-layer activity so far.
+    #[must_use]
+    pub fn cache_counts(&self) -> CacheCounts {
+        CacheCounts {
+            memo_hits: self.stats.memo_hits.load(Ordering::Relaxed),
+            disk_hits: self.stats.disk_hits.load(Ordering::Relaxed),
+            computes: self.stats.computes.load(Ordering::Relaxed),
+            disk_decode_errors: self.stats.disk_decode_errors.load(Ordering::Relaxed),
+        }
     }
 
     /// Order-preserving parallel map: applies `f` to every item on a
@@ -92,19 +148,29 @@ impl Engine {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+            if n > 0 {
+                p10_obs::counter("engine.worker00.jobs", n as u64);
+            }
+            return out;
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+            for w in 0..workers {
+                let (next, slots, f) = (&next, &slots, &f);
+                s.spawn(move || {
+                    let mut done = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let r = f(i, &items[i]);
+                        *slots[i].lock().expect("result slot poisoned") = Some(r);
+                        done += 1;
                     }
-                    let r = f(i, &items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
+                    p10_obs::counter(&format!("engine.worker{w:02}.jobs"), done);
                 });
             }
         });
@@ -132,17 +198,25 @@ impl Engine {
     {
         let key = format!("{:016x}", fnv1a64(key.as_bytes()));
         if let Some(hit) = self.memo_get::<T>(&key) {
+            self.stats.memo_hits.fetch_add(1, Ordering::Relaxed);
+            p10_obs::counter("cache.memo_hits", 1);
             self.progress_line(label, "memo hit");
             return hit;
         }
         if let Some(hit) = self.disk_get::<T>(&key) {
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            p10_obs::counter("cache.disk_hits", 1);
             self.memo_put(&key, hit.clone());
             self.progress_line(label, "disk hit");
             return hit;
         }
         let start = Instant::now();
         let value = compute();
-        self.progress_line(label, &format!("{:.2}s", start.elapsed().as_secs_f64()));
+        let secs = start.elapsed().as_secs_f64();
+        self.stats.computes.fetch_add(1, Ordering::Relaxed);
+        p10_obs::counter("cache.computes", 1);
+        p10_obs::observe("engine.compute_s", secs);
+        self.progress_line(label, &format!("{secs:.2}s"));
         self.disk_put(&key, &value);
         self.memo_put(&key, value.clone());
         value
@@ -212,9 +286,21 @@ impl Engine {
 
     fn disk_get<T: Deserialize>(&self, key: &str) -> Option<T> {
         let path = self.disk_cache.as_ref()?.join(format!("{key}.json"));
-        let text = std::fs::read_to_string(path).ok()?;
-        // A corrupt or stale entry is a miss, not an error.
-        serde_json::from_str(&text).ok()
+        let text = std::fs::read_to_string(&path).ok()?;
+        // A corrupt or stale entry is recomputed like a miss, but counted
+        // so a damaged cache directory shows up in the run summary
+        // instead of silently costing a full re-simulation.
+        match serde_json::from_str(&text) {
+            Ok(v) => Some(v),
+            Err(_) => {
+                self.stats
+                    .disk_decode_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                p10_obs::counter("cache.disk_decode_errors", 1);
+                p10_obs::mark("cache.disk_decode_error", &path.display().to_string());
+                None
+            }
+        }
     }
 
     fn disk_put<T: Serialize>(&self, key: &str, value: &T) {
@@ -236,8 +322,9 @@ impl Engine {
 
     fn progress_line(&self, label: &str, outcome: &str) {
         if self.progress {
-            let n = self.job_counter.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!("[runner #{n}] {label}: {outcome}");
+            p10_obs::progress(label, outcome);
+        } else {
+            p10_obs::mark(label, outcome);
         }
     }
 }
@@ -277,6 +364,15 @@ pub fn configure(config: EngineConfig) -> bool {
 /// and no progress output if [`configure`] was never called.
 pub fn engine() -> &'static Engine {
     GLOBAL.get_or_init(|| Engine::new(EngineConfig::default()))
+}
+
+/// The process-wide engine if one has been installed (via [`configure`]
+/// or first use), without creating one as a side effect. Use
+/// [`Engine::config`] and [`Engine::cache_counts`] on the result to read
+/// back the active settings and cache activity.
+#[must_use]
+pub fn current() -> Option<&'static Engine> {
+    GLOBAL.get()
 }
 
 /// The default on-disk cache location honoring `P10SIM_CACHE_DIR`.
@@ -397,5 +493,96 @@ mod tests {
         // offset basis; "a" is a published test value.
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn cache_counts_track_each_layer() {
+        let dir = scratch_dir("counts");
+        let eng = Engine::new(EngineConfig {
+            disk_cache: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        let _: u64 = eng.cached("a", "k1", || 1); // compute
+        let _: u64 = eng.cached("b", "k1", || panic!("memo must hit")); // memo
+        let fresh = Engine::new(EngineConfig {
+            disk_cache: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        let _: u64 = fresh.cached("c", "k1", || panic!("disk must hit")); // disk
+        assert_eq!(
+            eng.cache_counts(),
+            CacheCounts {
+                memo_hits: 1,
+                computes: 1,
+                ..CacheCounts::default()
+            }
+        );
+        assert_eq!(fresh.cache_counts().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_disk_entry_is_counted_and_recomputed() {
+        let dir = scratch_dir("corrupt");
+        let eng = Engine::new(EngineConfig {
+            disk_cache: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        let cold: Vec<u64> = eng.cached("plant", "point", || vec![4, 5, 6]);
+        assert_eq!(cold, vec![4, 5, 6]);
+        // Truncate the planted entry to simulate a torn/corrupted file.
+        let key = format!("{:016x}", fnv1a64(b"point"));
+        let path = dir.join(format!("{key}.json"));
+        let text = std::fs::read_to_string(&path).expect("entry written");
+        std::fs::write(&path, &text[..text.len() / 2]).expect("truncate");
+
+        let fresh = Engine::new(EngineConfig {
+            disk_cache: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        let calls = AtomicU32::new(0);
+        let warm: Vec<u64> = fresh.cached("reread", "point", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            vec![4, 5, 6]
+        });
+        assert_eq!(warm, cold, "corrupt entry must fall back to recompute");
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        let counts = fresh.cache_counts();
+        assert_eq!(counts.disk_decode_errors, 1);
+        assert_eq!(counts.disk_hits, 0);
+        assert_eq!(counts.computes, 1);
+        // The recompute rewrote the entry, so a third engine disk-hits.
+        let third = Engine::new(EngineConfig {
+            disk_cache: Some(dir.clone()),
+            ..EngineConfig::default()
+        });
+        let _: Vec<u64> = third.cached("healed", "point", || panic!("entry must be healed"));
+        assert_eq!(third.cache_counts().disk_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn config_readback_reports_resolved_settings() {
+        let dir = scratch_dir("readback");
+        let eng = Engine::new(EngineConfig {
+            jobs: 3,
+            disk_cache: Some(dir.clone()),
+            progress: true,
+        });
+        let cfg = eng.config();
+        assert_eq!(cfg.jobs, 3);
+        assert_eq!(cfg.disk_cache.as_deref(), Some(dir.as_path()));
+        assert!(cfg.progress);
+        // jobs: 0 resolves to a concrete count.
+        assert!(Engine::new(EngineConfig::default()).config().jobs >= 1);
+    }
+
+    #[test]
+    fn jobs_env_parsing() {
+        assert_eq!(jobs_from_env(Some("4")), Some(4));
+        assert_eq!(jobs_from_env(Some(" 2 ")), Some(2));
+        assert_eq!(jobs_from_env(Some("0")), None, "zero means unset");
+        assert_eq!(jobs_from_env(Some("many")), None);
+        assert_eq!(jobs_from_env(None), None);
     }
 }

@@ -100,6 +100,9 @@ pub fn run_benchmark(
 pub fn run_traces(cfg: &CoreConfig, name: &str, traces: Vec<p10_isa::Trace>) -> ScenarioResult {
     let total_ops: u64 = traces.iter().map(|t| t.len() as u64).sum();
     let sim = Core::new(cfg.clone()).run(traces, total_ops * 8 + 100_000);
+    p10_obs::counter("sim.runs", 1);
+    p10_obs::counter("sim.cycles", sim.activity.cycles);
+    p10_obs::counter("sim.instructions", sim.activity.completed);
     let power = PowerModel::for_config(cfg).evaluate(&sim.activity);
     ScenarioResult {
         workload: name.to_owned(),

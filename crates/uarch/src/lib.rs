@@ -60,5 +60,5 @@ pub use config::{
     SmtMode,
 };
 pub use pipeline::Core;
-pub use stats::{Activity, SimResult};
+pub use stats::{Activity, CycleAttribution, SimResult};
 pub use tlb::{Mmu, TranslateSide};

@@ -15,7 +15,7 @@
 use crate::branch::BranchPredictor;
 use crate::cache::MemHierarchy;
 use crate::config::{CoreConfig, Scheduler};
-use crate::stats::{Activity, SimResult};
+use crate::stats::{Activity, CycleAttribution, SimResult};
 use crate::tlb::{Mmu, TranslateSide};
 use p10_isa::fusion::{self, FusionKind};
 use p10_isa::{DynOp, MmaKind, OpClass, Trace, ARCH_REG_COUNT, MAX_SRCS};
@@ -133,6 +133,7 @@ pub struct Core {
     mem: MemHierarchy,
     mmu: Mmu,
     act: Activity,
+    attr: CycleAttribution,
     threads: Vec<ThreadState>,
     slab: Vec<InFlight>,
     free_slots: Vec<u32>,
@@ -182,6 +183,7 @@ impl Core {
             mem: MemHierarchy::new(&cfg),
             mmu: Mmu::new(&cfg),
             act: Activity::default(),
+            attr: CycleAttribution::default(),
             threads: Vec::new(),
             slab: Vec::new(),
             free_slots: Vec::new(),
@@ -278,12 +280,18 @@ impl Core {
             }
         }
         self.act.cycles = self.cycle;
+        debug_assert_eq!(
+            self.attr.total(),
+            self.act.cycles,
+            "cycle attribution must partition the cycle count"
+        );
 
         SimResult {
             config_name: self.cfg.name.clone(),
             threads: self.threads.len(),
             per_thread_completed: self.threads.iter().map(|t| t.completed).collect(),
             activity: self.act,
+            attribution: self.attr,
         }
     }
 
@@ -297,11 +305,40 @@ impl Core {
             Scheduler::Polled => self.advance_execution_polled(),
             Scheduler::EventDriven => self.advance_execution_event(),
         }
-        self.issue();
+        let wake_pre = self.act.mma_wake_stall_cycles;
+        let issue = self.issue();
+        let mma_wake_fired = self.act.mma_wake_stall_cycles > wake_pre;
+        let dispatched_pre = self.act.dispatched;
+        let dispatch_stall_pre = self.act.dispatch_stall_cycles;
         self.decode_dispatch();
+        let dispatch_blocked = self.act.dispatch_stall_cycles > dispatch_stall_pre
+            && self.act.dispatched == dispatched_pre;
+        let fetched_pre = self.act.fetched;
         self.fetch();
+        let fetch_progress = self.act.fetched > fetched_pre;
         self.act.window_occupancy_acc += u64::from(self.window_used);
         self.rr_offset = self.rr_offset.wrapping_add(1);
+
+        // Cycle attribution: exactly one bucket per cycle, first match
+        // wins (see `CycleAttribution` for the bucket definitions).
+        if issue.issued_any {
+            self.attr.active += 1;
+        } else if mma_wake_fired {
+            self.attr.mma_gated += 1;
+        } else if !self.lmq.is_empty() {
+            // Before issue_limited: a zero-issue cycle with a demand miss
+            // outstanding is memory-bound even if some op was nominally
+            // ready (e.g. a load blocked only by a full LMQ).
+            self.attr.memory_bound += 1;
+        } else if issue.saw_ready {
+            self.attr.issue_limited += 1;
+        } else if dispatch_blocked {
+            self.attr.dispatch_stalled += 1;
+        } else if !fetch_progress && self.threads.iter().any(|t| !t.fetch_done()) {
+            self.attr.fetch_stalled += 1;
+        } else {
+            self.attr.idle += 1;
+        }
     }
 
     /// MMA power-gate bookkeeping: count powered cycles and gate the unit
@@ -382,9 +419,25 @@ impl Core {
         }
 
         let skipped = target - self.cycle;
+        // The whole stretch lands in one attribution bucket: nothing
+        // issues or is ready (skip precondition), the LMQ is static (its
+        // entries are calendar completion times, all >= the horizon), and
+        // dispatch/fetch blockedness cannot change before the horizon —
+        // so the per-cycle classifier in `step` would pick the same
+        // bucket every cycle. Evaluating it once keeps the closed form
+        // identical to polled stepping.
+        let stall = if !self.lmq.is_empty() {
+            StallKind::MemoryBound
+        } else if dispatch_blocked_threads > 0 {
+            StallKind::DispatchStalled
+        } else if self.threads.iter().any(|t| !t.fetch_done()) {
+            StallKind::FetchStalled
+        } else {
+            StallKind::Idle
+        };
         if let Some(obs) = observer.as_deref_mut() {
             for _ in 0..skipped {
-                self.idle_tick(dispatch_blocked_threads);
+                self.idle_tick(dispatch_blocked_threads, stall);
                 self.act.cycles = self.cycle;
                 obs(self.cycle, &self.act);
             }
@@ -403,6 +456,7 @@ impl Core {
             }
             self.act.dispatch_stall_cycles += dispatch_blocked_threads * skipped;
             self.act.window_occupancy_acc += u64::from(self.window_used) * skipped;
+            *self.attr_bucket(stall) += skipped;
             self.rr_offset = self.rr_offset.wrapping_add(skipped as usize);
             self.cycle = target;
         }
@@ -415,12 +469,22 @@ impl Core {
     /// One fast-forwarded idle cycle, stepped explicitly (observer mode):
     /// exactly the state a full `step()` changes on a cycle where nothing
     /// drains, completes, executes, issues, dispatches or fetches.
-    fn idle_tick(&mut self, dispatch_blocked_threads: u64) {
+    fn idle_tick(&mut self, dispatch_blocked_threads: u64, stall: StallKind) {
         self.cycle += 1;
         self.mma_gate_tick();
         self.act.dispatch_stall_cycles += dispatch_blocked_threads;
         self.act.window_occupancy_acc += u64::from(self.window_used);
+        *self.attr_bucket(stall) += 1;
         self.rr_offset = self.rr_offset.wrapping_add(1);
+    }
+
+    fn attr_bucket(&mut self, stall: StallKind) -> &mut u64 {
+        match stall {
+            StallKind::MemoryBound => &mut self.attr.memory_bound,
+            StallKind::DispatchStalled => &mut self.attr.dispatch_stalled,
+            StallKind::FetchStalled => &mut self.attr.fetch_stalled,
+            StallKind::Idle => &mut self.attr.idle,
+        }
     }
 
     // ---- completion ----
@@ -654,7 +718,7 @@ impl Core {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn issue(&mut self) {
+    fn issue(&mut self) -> IssueSummary {
         let mut int_left = self.cfg.int_slices;
         let mut branch_left = self.cfg.branch_slices;
         let mut vsx_left = self.cfg.vsx_units;
@@ -663,6 +727,7 @@ impl Core {
         let mut mma_lanes_left = self.cfg.mma.map_or(0, |m| m.grid_lanes);
         let mut mma_move_left = 1u32;
         let mut issued_any = false;
+        let mut saw_ready = false;
         let mut mma_active = false;
 
         let event_driven = self.event_driven();
@@ -671,8 +736,13 @@ impl Core {
             if self.ready_count == 0 {
                 // No waiting op has its producers resolved, so nothing can
                 // issue and none of the side effects below (MMA demand
-                // wake, wake-stall accounting) can trigger either.
-                return;
+                // wake, wake-stall accounting) can trigger either. The
+                // polled scheduler's candidate scan would find no ready op
+                // either, so `saw_ready: false` is scheduler-identical.
+                return IssueSummary {
+                    issued_any: false,
+                    saw_ready: false,
+                };
             }
         } else {
             // Reference behavior: compact the queue every cycle.
@@ -716,6 +786,7 @@ impl Core {
             if !ready {
                 continue;
             }
+            saw_ready = true;
 
             let done_at = match class {
                 OpClass::Hint => {
@@ -878,6 +949,10 @@ impl Core {
         }
         if mma_active {
             self.act.mma_active_cycles += 1;
+        }
+        IssueSummary {
+            issued_any,
+            saw_ready,
         }
     }
 
@@ -1400,6 +1475,26 @@ impl Core {
             }
         }
     }
+}
+
+/// What the issue stage saw this cycle (input to cycle attribution).
+#[derive(Debug, Clone, Copy)]
+struct IssueSummary {
+    /// At least one op started execution.
+    issued_any: bool,
+    /// At least one candidate within the lookahead had its deps resolved
+    /// (whether or not a structural limit then blocked it).
+    saw_ready: bool,
+}
+
+/// Which attribution bucket a fast-forwarded idle stretch belongs to
+/// (static across the stretch — see `fast_forward`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StallKind {
+    MemoryBound,
+    DispatchStalled,
+    FetchStalled,
+    Idle,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -2058,5 +2153,133 @@ mod corner_tests {
         let r = Core::new(CoreConfig::power10()).run(vec![t], 100_000);
         assert_eq!(r.activity.wrong_path_fetched, 0);
         assert_eq!(r.activity.branch_mispredicts, 0);
+    }
+}
+
+#[cfg(test)]
+mod attribution_tests {
+    use super::*;
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+
+    fn alu_trace(iters: i64) -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(4), iters);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        for k in 0..8u16 {
+            b.addi(Reg::gpr(5 + k % 8), Reg::gpr(5 + k % 8), 1);
+        }
+        b.bdnz(top);
+        Machine::new().run(&b.build(), 1_000_000).unwrap()
+    }
+
+    fn chase_trace() -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::gpr(1), 0x40_0000);
+        b.li(Reg::gpr(4), 300);
+        b.mtctr(Reg::gpr(4));
+        let top = b.bind_label();
+        b.ld(Reg::gpr(2), Reg::gpr(1), 0);
+        b.add(Reg::gpr(3), Reg::gpr(3), Reg::gpr(2));
+        b.addi(Reg::gpr(1), Reg::gpr(1), 4096);
+        b.bdnz(top);
+        Machine::new().run(&b.build(), 1_000_000).unwrap()
+    }
+
+    fn mma_cold_trace() -> Trace {
+        let mut b = ProgramBuilder::new();
+        b.push(Inst::Xxsetaccz { at: Reg::acc(0) });
+        b.li(Reg::gpr(6), 100);
+        b.mtctr(Reg::gpr(6));
+        let kloop = b.bind_label();
+        b.push(Inst::Xvf64gerpp {
+            at: Reg::acc(0),
+            xa: Reg::vsr(34),
+            xb: Reg::vsr(36),
+        });
+        b.bdnz(kloop);
+        Machine::new().run(&b.build(), 1_000_000).unwrap()
+    }
+
+    fn assert_partitions(r: &SimResult) {
+        assert_eq!(
+            r.attribution.total(),
+            r.activity.cycles,
+            "attribution must partition the cycle count ({:?})",
+            r.attribution
+        );
+        assert_eq!(
+            r.attribution.active, r.activity.active_cycles,
+            "active bucket must equal the existing active_cycles counter"
+        );
+    }
+
+    #[test]
+    fn buckets_partition_cycles_on_every_preset() {
+        for (trace, mma_only) in [
+            (alu_trace(1000), false),
+            (chase_trace(), false),
+            (mma_cold_trace(), true), // P9 has no MMA unit to run it on
+        ] {
+            for cfg in [CoreConfig::power9(), CoreConfig::power10()] {
+                if mma_only && cfg.mma.is_none() {
+                    continue;
+                }
+                for sched in [Scheduler::Polled, Scheduler::EventDriven] {
+                    let mut cfg = cfg.clone();
+                    cfg.scheduler = sched;
+                    let r = Core::new(cfg).run(vec![trace.clone()], 10_000_000);
+                    assert_partitions(&r);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_code_attributes_to_memory() {
+        let mut cfg = CoreConfig::power10();
+        cfg.prefetch_streams = 0;
+        let r = Core::new(cfg).run(vec![chase_trace()], 10_000_000);
+        assert_partitions(&r);
+        assert!(
+            r.attribution.memory_bound > r.activity.cycles / 2,
+            "a page-striding pointer chase should be mostly memory-bound: {:?} of {} cycles",
+            r.attribution,
+            r.activity.cycles
+        );
+    }
+
+    #[test]
+    fn cold_mma_start_attributes_gated_cycles() {
+        let r = Core::new(CoreConfig::power10()).run(vec![mma_cold_trace()], 1_000_000);
+        assert_partitions(&r);
+        assert!(
+            r.attribution.mma_gated > 0,
+            "a cold MMA burst must show gated cycles: {:?}",
+            r.attribution
+        );
+    }
+
+    #[test]
+    fn compute_code_is_mostly_active() {
+        let r = Core::new(CoreConfig::power10()).run(vec![alu_trace(2000)], 10_000_000);
+        assert_partitions(&r);
+        assert!(
+            r.attribution.active > r.activity.cycles / 2,
+            "an L1-resident ALU loop should be mostly active: {:?}",
+            r.attribution
+        );
+    }
+
+    #[test]
+    fn attribution_identical_with_observer_replay() {
+        // The observer path replays fast-forwarded stretches one cycle at
+        // a time; the attribution must come out the same either way.
+        let mut cfg = CoreConfig::power10();
+        cfg.scheduler = Scheduler::EventDriven;
+        let plain = Core::new(cfg.clone()).run(vec![chase_trace()], 10_000_000);
+        let observed = Core::new(cfg).run_observed(vec![chase_trace()], 10_000_000, |_, _| {});
+        assert_eq!(plain.attribution, observed.attribution);
+        assert_partitions(&observed);
     }
 }

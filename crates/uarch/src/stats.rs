@@ -208,6 +208,81 @@ impl Activity {
     }
 }
 
+/// Where every simulated cycle went — a mutually-exclusive partition of
+/// `Activity::cycles` into bottleneck buckets, maintained by the pipeline
+/// at a cost of a few comparisons per cycle (no per-cycle observer
+/// needed).
+///
+/// Each cycle lands in exactly the **first** matching bucket:
+///
+/// 1. [`active`](Self::active) — at least one op issued (equals
+///    `Activity::active_cycles`).
+/// 2. [`mma_gated`](Self::mma_gated) — nothing issued because an MMA op
+///    stalled waking the power-gated MMA unit.
+/// 3. [`memory_bound`](Self::memory_bound) — nothing issued with at least
+///    one demand load miss outstanding in the LMQ (covers both
+///    dependents waiting on miss data and loads blocked by a full LMQ).
+/// 4. [`issue_limited`](Self::issue_limited) — no miss outstanding; a
+///    ready op was within the issue lookahead but structural limits
+///    (ports, busy dividers, lookahead window) blocked it.
+/// 5. [`dispatch_stalled`](Self::dispatch_stalled) — nothing ready and no
+///    miss outstanding, but dispatch was blocked by a full backend
+///    resource and made no progress.
+/// 6. [`fetch_stalled`](Self::fetch_stalled) — none of the above and
+///    fetch delivered nothing while a thread still had instructions to
+///    fetch (i-cache miss / iTLB walk / redirect shadow).
+/// 7. [`idle`](Self::idle) — everything else: execution-latency waits,
+///    ramp-up and drain tails. These are exactly the stretches the
+///    event-driven scheduler fast-forwards over, so the same cycles are
+///    attributed in closed form there (scheduler-identical by test).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CycleAttribution {
+    /// Cycles in which at least one op issued.
+    pub active: u64,
+    /// No-issue cycles blocked on the MMA power-gate wake latency.
+    pub mma_gated: u64,
+    /// No-issue cycles with a ready op in reach (structural issue limit).
+    pub issue_limited: u64,
+    /// No-issue cycles with a demand L1 miss outstanding.
+    pub memory_bound: u64,
+    /// No-issue cycles with dispatch blocked and making no progress.
+    pub dispatch_stalled: u64,
+    /// No-issue cycles with fetch delivering nothing despite pending work.
+    pub fetch_stalled: u64,
+    /// Remaining cycles: pure latency waits and ramp/drain tails (the
+    /// fast-forwardable stretches under the event-driven scheduler).
+    pub idle: u64,
+}
+
+impl CycleAttribution {
+    /// Sum of all buckets; always equals `Activity::cycles` for a
+    /// completed run (asserted in debug builds).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.active
+            + self.mma_gated
+            + self.issue_limited
+            + self.memory_bound
+            + self.dispatch_stalled
+            + self.fetch_stalled
+            + self.idle
+    }
+
+    /// The buckets as `(name, value)` pairs, in declaration order.
+    #[must_use]
+    pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("active", self.active),
+            ("mma_gated", self.mma_gated),
+            ("issue_limited", self.issue_limited),
+            ("memory_bound", self.memory_bound),
+            ("dispatch_stalled", self.dispatch_stalled),
+            ("fetch_stalled", self.fetch_stalled),
+            ("idle", self.idle),
+        ]
+    }
+}
+
 /// Result of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -219,6 +294,8 @@ pub struct SimResult {
     pub activity: Activity,
     /// Instructions completed per thread.
     pub per_thread_completed: Vec<u64>,
+    /// Cycle-level bottleneck attribution (partitions `activity.cycles`).
+    pub attribution: CycleAttribution,
 }
 
 impl SimResult {
@@ -301,5 +378,24 @@ mod tests {
         assert_eq!(pairs.len(), Activity::len());
         assert!(pairs.iter().any(|(n, _)| *n == "mma_flops"));
         assert!(pairs.iter().any(|(n, _)| *n == "l2_misses"));
+    }
+
+    #[test]
+    fn attribution_total_sums_every_bucket() {
+        let attr = CycleAttribution {
+            active: 1,
+            mma_gated: 2,
+            issue_limited: 4,
+            memory_bound: 8,
+            dispatch_stalled: 16,
+            fetch_stalled: 32,
+            idle: 64,
+        };
+        assert_eq!(attr.total(), 127);
+        let pairs = attr.as_pairs();
+        assert_eq!(pairs.len(), 7);
+        assert_eq!(pairs.iter().map(|(_, v)| v).sum::<u64>(), attr.total());
+        assert_eq!(pairs[0], ("active", 1));
+        assert_eq!(pairs[6], ("idle", 64));
     }
 }

@@ -24,11 +24,13 @@
 //! | [`pipedepth`] | optimal pipeline-depth (FO4) study |
 //! | [`kernels`] | GEMM kernels (VSU/MMA) and ResNet-50 / BERT-Large models |
 //! | [`core`] | top-level scenarios, experiment runners, figure data |
+//! | [`obs`] | structured tracing, metrics, and run summaries |
 
 pub use p10_apex as apex;
 pub use p10_core as core;
 pub use p10_isa as isa;
 pub use p10_kernels as kernels;
+pub use p10_obs as obs;
 pub use p10_pipedepth as pipedepth;
 pub use p10_power as power;
 pub use p10_powermgmt as powermgmt;

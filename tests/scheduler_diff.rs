@@ -92,6 +92,42 @@ fn schedulers_agree_on_microbench_grid() {
     }
 }
 
+/// The always-on cycle-attribution counters ride inside `SimResult`, so
+/// the byte-identity assertions above already cover them implicitly; this
+/// pins the stronger invariants by name on the Fig. 13 grid: the buckets
+/// partition the cycle count exactly, the `active` bucket equals the
+/// issue-activity counter, and the whole partition is independent of the
+/// scheduler (the fast-forward path attributes skipped stretches in
+/// closed form and must land on the same buckets as per-cycle stepping).
+#[test]
+fn cycle_attribution_is_scheduler_invariant_on_microbench_grid() {
+    for base in [CoreConfig::power9(), CoreConfig::power10()] {
+        for spec in derating_grid() {
+            let mut cfg = base.clone();
+            cfg.smt = smt_mode(spec.smt);
+            let traces: Vec<_> = (0..spec.smt)
+                .map(|t| generate(&spec, 7 + u64::from(t)).trace_or_panic(3_000))
+                .collect();
+            let polled = run_with(&cfg, Scheduler::Polled, &traces);
+            let event = run_with(&cfg, Scheduler::EventDriven, &traces);
+            let label = format!("{} @ {}", spec.name(), cfg.name);
+            assert_eq!(
+                polled.attribution, event.attribution,
+                "attribution must be scheduler-invariant on {label}"
+            );
+            assert_eq!(
+                polled.attribution.total(),
+                polled.activity.cycles,
+                "buckets must partition the cycles on {label}"
+            );
+            assert_eq!(
+                polled.attribution.active, polled.activity.active_cycles,
+                "active bucket must equal the activity counter on {label}"
+            );
+        }
+    }
+}
+
 /// MMA power-gating interacts with the idle-cycle fast-forward (the
 /// closed-form `mma_powered_cycles` accounting), so GEMM kernels get
 /// their own regression point on every MMA-capable preset.

@@ -71,6 +71,151 @@ fn activity_and_power_report_roundtrip() {
 }
 
 #[test]
+fn obs_trace_events_roundtrip() {
+    use p10sim::obs::{EventKind, TraceEvent};
+    let events = [
+        TraceEvent {
+            t_us: 1,
+            thread: 0,
+            kind: EventKind::Span {
+                name: "run_suite".to_owned(),
+                dur_us: 421_337,
+            },
+        },
+        TraceEvent {
+            t_us: 2,
+            thread: 3,
+            kind: EventKind::Count {
+                name: "cache.memo_hits".to_owned(),
+                delta: 7,
+            },
+        },
+        TraceEvent {
+            t_us: 3,
+            thread: 1,
+            kind: EventKind::Gauge {
+                name: "apex.speedup".to_owned(),
+                value: 17.5,
+            },
+        },
+        TraceEvent {
+            t_us: 4,
+            thread: 0,
+            kind: EventKind::Mark {
+                name: "table1".to_owned(),
+                detail: "disk hit".to_owned(),
+            },
+        },
+    ];
+    for e in &events {
+        let json = serde_json::to_string(e).expect("serialize event");
+        assert!(
+            !json.contains('\n'),
+            "trace events must serialize to one JSONL-safe line: {json}"
+        );
+        let back: TraceEvent = serde_json::from_str(&json).expect("deserialize event");
+        assert_eq!(e, &back);
+    }
+}
+
+#[test]
+fn obs_summary_roundtrip() {
+    use p10sim::obs::{
+        CounterSummary, GaugeSummary, HistEntry, HistSummary, PhaseSummary, Summary,
+    };
+    let mut hist = HistSummary::default();
+    for v in [0.001, 0.25, 3.0] {
+        hist.record(v);
+    }
+    let s = Summary {
+        total_wall_s: 12.5,
+        phases: vec![PhaseSummary {
+            name: "fig2".to_owned(),
+            wall_s: 1.25,
+            calls: 1,
+        }],
+        counters: vec![CounterSummary {
+            name: "sim.runs".to_owned(),
+            value: 40,
+        }],
+        gauges: vec![GaugeSummary {
+            name: "apex.speedup".to_owned(),
+            value: 9.5,
+        }],
+        histograms: vec![HistEntry {
+            name: "engine.compute_s".to_owned(),
+            hist,
+        }],
+    };
+    let json = serde_json::to_string(&s).expect("serialize summary");
+    let back: Summary = serde_json::from_str(&json).expect("deserialize summary");
+    assert_eq!(s, back);
+}
+
+#[test]
+fn cycle_attribution_and_profile_row_roundtrip() {
+    use p10sim::core::cycleprof::ProfileRow;
+    use p10sim::uarch::CycleAttribution;
+    let attr = CycleAttribution {
+        active: 100,
+        mma_gated: 7,
+        issue_limited: 13,
+        memory_bound: 29,
+        dispatch_stalled: 5,
+        fetch_stalled: 3,
+        idle: 43,
+    };
+    assert_eq!(attr.total(), 200);
+    let json = serde_json::to_string(&attr).expect("serialize attribution");
+    let back: CycleAttribution = serde_json::from_str(&json).expect("deserialize attribution");
+    assert_eq!(attr, back);
+
+    let row = ProfileRow {
+        workload: "mcfish".to_owned(),
+        config: "power10".to_owned(),
+        cycles: 200,
+        ipc: 1.375,
+        attribution: attr,
+    };
+    let rj = serde_json::to_string(&row).expect("serialize row");
+    let rb: ProfileRow = serde_json::from_str(&rj).expect("deserialize row");
+    assert_eq!(row.workload, rb.workload);
+    assert_eq!(row.config, rb.config);
+    assert_eq!(row.cycles, rb.cycles);
+    assert!((row.ipc - rb.ipc).abs() < 1e-9);
+    assert_eq!(row.attribution, rb.attribution);
+}
+
+#[test]
+fn cache_counts_and_speedup_report_roundtrip() {
+    let counts = p10sim::core::runner::CacheCounts {
+        memo_hits: 11,
+        disk_hits: 4,
+        computes: 9,
+        disk_decode_errors: 1,
+    };
+    let json = serde_json::to_string(&counts).expect("serialize counts");
+    let back: p10sim::core::runner::CacheCounts =
+        serde_json::from_str(&json).expect("deserialize counts");
+    assert_eq!(counts, back);
+
+    let report = p10sim::apex::SpeedupReport {
+        detailed_secs: 4.5,
+        apex_secs: 0.5,
+        speedup: 9.0,
+        cycles: 123_456,
+        windows: 31,
+    };
+    let rj = serde_json::to_string(&report).expect("serialize report");
+    let rb: p10sim::apex::SpeedupReport = serde_json::from_str(&rj).expect("deserialize report");
+    assert_eq!(report.cycles, rb.cycles);
+    assert_eq!(report.windows, rb.windows);
+    assert!((report.speedup - rb.speedup).abs() < 1e-9);
+    assert!((report.detailed_secs - rb.detailed_secs).abs() < 1e-9);
+    assert!((report.apex_secs - rb.apex_secs).abs() < 1e-9);
+}
+
+#[test]
 fn experiment_artifacts_roundtrip() {
     // The figure data types downstream tools consume.
     let fig2 = p10sim::pipedepth::run_fig2(&p10sim::pipedepth::DepthParams::default(), &[]);
