@@ -3,6 +3,11 @@
 //! cache-miss-bound, and an SMT4 workload, under both the `Polled`
 //! (reference) and `EventDriven` schedulers.
 //!
+//! Each scenario also runs in the two *observed* modes — full latch
+//! bookkeeping (`rtlsim-detailed`) and windowed counter extraction
+//! (`apex-windowed`) — so the cost of riding the span-aware observer
+//! stream is tracked alongside the bare scheduler numbers.
+//!
 //! Besides the human-readable table on stdout, the bench writes
 //! `BENCH_pipeline.json` (override the path with `P10SIM_BENCH_OUT`) so
 //! the simulator's performance trajectory is tracked across PRs.
@@ -90,6 +95,10 @@ fn scenarios() -> Vec<Scenario> {
 struct BenchResult {
     workload: String,
     scheduler: String,
+    /// What rides on the simulation: "unobserved" (bare scheduler),
+    /// "rtlsim-detailed" (per-cycle latch bookkeeping over the span
+    /// stream) or "apex-windowed" (windowed counter extraction).
+    mode: String,
     threads: usize,
     sim_cycles: u64,
     sim_ops: u64,
@@ -105,18 +114,53 @@ struct BenchReport {
     results: Vec<BenchResult>,
 }
 
-fn run_once(cfg: &CoreConfig, traces: &[Trace]) -> SimResult {
-    Core::new(cfg.clone()).run(traces.to_vec(), MAX_CYCLES)
+/// One observation mode: how the simulation is driven and what consumes
+/// the observer stream while the clock runs.
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Bare scheduler, no observer attached.
+    Unobserved,
+    /// Latch-accurate bookkeeping (`p10_rtlsim::run_detailed`).
+    RtlsimDetailed,
+    /// Windowed counter extraction (`p10_apex::run_apex`).
+    ApexWindowed,
 }
 
-fn measure(s: &Scenario, scheduler: Scheduler) -> BenchResult {
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Unobserved => "unobserved",
+            Mode::RtlsimDetailed => "rtlsim-detailed",
+            Mode::ApexWindowed => "apex-windowed",
+        }
+    }
+
+    fn run(self, cfg: &CoreConfig, traces: &[Trace]) -> SimResult {
+        match self {
+            Mode::Unobserved => Core::new(cfg.clone()).run(traces.to_vec(), MAX_CYCLES),
+            Mode::RtlsimDetailed => {
+                use p10_rtlsim::{run_detailed, Roi, ToggleDensity};
+                run_detailed(
+                    cfg,
+                    traces.to_vec(),
+                    Roi::new(0, MAX_CYCLES),
+                    ToggleDensity::default(),
+                )
+                .sim
+            }
+            Mode::ApexWindowed => p10_apex::run_apex(cfg, traces.to_vec(), 4096, MAX_CYCLES).sim,
+        }
+    }
+}
+
+fn measure(s: &Scenario, scheduler: Scheduler, mode: Mode) -> BenchResult {
     let mut cfg = s.cfg.clone();
     cfg.scheduler = scheduler;
-    let reference = run_once(&cfg, &s.traces); // warm-up + stats
+    let reference = mode.run(&cfg, &s.traces); // warm-up + stats
     let mut best = f64::INFINITY;
     for _ in 0..SAMPLES {
         let t0 = Instant::now();
-        let r = run_once(&cfg, &s.traces);
+        let r = mode.run(&cfg, &s.traces);
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(
             r.activity.cycles, reference.activity.cycles,
@@ -129,6 +173,7 @@ fn measure(s: &Scenario, scheduler: Scheduler) -> BenchResult {
     BenchResult {
         workload: s.name.to_owned(),
         scheduler: format!("{scheduler:?}"),
+        mode: mode.name().to_owned(),
         threads: s.traces.len(),
         sim_cycles: cycles,
         sim_ops: ops,
@@ -141,26 +186,37 @@ fn measure(s: &Scenario, scheduler: Scheduler) -> BenchResult {
 fn main() {
     let mut results = Vec::new();
     println!(
-        "{:<18} {:<12} {:>12} {:>10} {:>12} {:>10}",
-        "workload", "scheduler", "sim cycles", "wall s", "Mcycles/s", "Mops/s"
+        "{:<18} {:<12} {:<16} {:>12} {:>10} {:>12} {:>10}",
+        "workload", "scheduler", "mode", "sim cycles", "wall s", "Mcycles/s", "Mops/s"
     );
+    let print_row = |r: &BenchResult| {
+        println!(
+            "{:<18} {:<12} {:<16} {:>12} {:>10.4} {:>12.2} {:>10.2}",
+            r.workload, r.scheduler, r.mode, r.sim_cycles, r.wall_s, r.mcycles_per_s, r.mops_per_s
+        );
+    };
     for s in scenarios() {
         let mut per_sched = Vec::new();
         for sched in [Scheduler::Polled, Scheduler::EventDriven] {
-            let r = measure(&s, sched);
-            println!(
-                "{:<18} {:<12} {:>12} {:>10.4} {:>12.2} {:>10.2}",
-                r.workload, r.scheduler, r.sim_cycles, r.wall_s, r.mcycles_per_s, r.mops_per_s
-            );
+            let r = measure(&s, sched, Mode::Unobserved);
+            print_row(&r);
             per_sched.push(r);
         }
         let speedup = per_sched[0].wall_s / per_sched[1].wall_s;
         println!("{:<18} event-driven speedup: {speedup:.2}x", s.name);
         results.extend(per_sched);
+        // Observed modes ride the event-driven span stream; comparing
+        // their rows against the unobserved EventDriven row above shows
+        // the cost of observation itself.
+        for mode in [Mode::RtlsimDetailed, Mode::ApexWindowed] {
+            let r = measure(&s, Scheduler::EventDriven, mode);
+            print_row(&r);
+            results.push(r);
+        }
     }
 
     let report = BenchReport {
-        schema: "p10sim-bench-pipeline/v1".to_owned(),
+        schema: "p10sim-bench-pipeline/v2".to_owned(),
         samples_per_point: SAMPLES as u64,
         results,
     };

@@ -18,7 +18,9 @@
 //! `all`, which keeps `all`'s stdout stable across additions.
 
 use p10_bench::{suite, FULL_OPS};
-use p10_core::powerstudies::{build_dataset, run_fig11, run_fig12, run_fig15a, run_fig15b, Target};
+use p10_core::powerstudies::{
+    build_dataset, build_datasets, run_fig11, run_fig12, run_fig15a, run_fig15b, Target,
+};
 use p10_core::runner;
 use p10_core::{ablation, flush, gemm, inference, rasstudy, scenario, socket, table1, tracestudy};
 use p10_kernels::models::{bert_large, resnet50};
@@ -252,6 +254,24 @@ fn main() {
         let secs = sp.finish();
         eprintln!("[figures] {e}: {secs:.2}s");
         write_artifact(&opts, e);
+    }
+
+    // Observation effectiveness: the share of observed simulation cycles
+    // delivered as closed-form spans instead of live steps (1.0 = every
+    // observed cycle rode the fast path). Derived from the counters the
+    // rtlsim/apex observers record, then shown as a gauge in the summary.
+    let s = p10_obs::summary();
+    let total = |name: &str| {
+        s.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.value)
+    };
+    let live = total("sim.observed_live_cycles");
+    let span = total("sim.observed_span_cycles");
+    if live + span > 0 {
+        #[allow(clippy::cast_precision_loss)]
+        p10_obs::gauge("sim.span_hit_rate", span as f64 / (live + span) as f64);
     }
 
     // Flush thread-local buffers and print the run summary (phase wall
@@ -533,26 +553,13 @@ fn do_fig12(o: &Opts) {
     );
     let cfg = CoreConfig::power10();
     let sweep_suite = suite();
-    let total = build_dataset(
-        &cfg,
-        &sweep_suite[..6],
-        &[1],
-        o.ops / 3,
-        512,
-        Target::TotalPower,
-    );
-    let components: Vec<_> = (0..39)
-        .map(|i| {
-            build_dataset(
-                &cfg,
-                &sweep_suite[..6],
-                &[1],
-                o.ops / 3,
-                512,
-                Target::Component(i),
-            )
-        })
+    // One windowed-run pass feeds all 40 targets (total + 39 components).
+    let targets: Vec<Target> = std::iter::once(Target::TotalPower)
+        .chain((0..39).map(Target::Component))
         .collect();
+    let mut datasets = build_datasets(&cfg, &sweep_suite[..6], &[1], o.ops / 3, 512, &targets);
+    let total = datasets.remove(0);
+    let components = datasets;
     let f = run_fig12(&total, &components, 12, 3);
     if o.json {
         println!("{}", serde_json::to_string_pretty(&f).expect("json"));

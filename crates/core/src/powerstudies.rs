@@ -53,8 +53,38 @@ pub fn build_dataset(
     window_cycles: u64,
     target: Target,
 ) -> Dataset {
+    build_datasets(
+        cfg,
+        benchmarks,
+        seeds,
+        ops_per_run,
+        window_cycles,
+        &[target],
+    )
+    .into_iter()
+    .next()
+    .expect("one dataset per target")
+}
+
+/// Builds one regression dataset per target from a single set of
+/// windowed runs.
+///
+/// The Fig. 12 study needs 40 datasets (total power plus 39 components)
+/// over the *same* windows; building them in one pass shares the window
+/// simulation reports, the feature extraction, and the reference power
+/// evaluation, and each dataset comes out bit-identical to a standalone
+/// [`build_dataset`] call for its target.
+#[must_use]
+pub fn build_datasets(
+    cfg: &CoreConfig,
+    benchmarks: &[Benchmark],
+    seeds: &[u64],
+    ops_per_run: u64,
+    window_cycles: u64,
+    targets: &[Target],
+) -> Vec<Dataset> {
     let model = PowerModel::for_config(cfg);
-    let mut data: Option<Dataset> = None;
+    let mut data: Vec<Option<Dataset>> = vec![None; targets.len()];
     let mut sample_idx = 0u64;
     // Fan the windowed runs out across the engine's worker pool; the
     // reports are cached per (config, benchmark, seed, ops, window), so
@@ -88,13 +118,7 @@ pub fn build_dataset(
                 continue; // skip ragged tails
             }
             let (names, feats) = counter_features(&w.activity);
-            let d = data.get_or_insert_with(|| Dataset::new(names));
             let power = model.evaluate(&w.activity);
-            let t = match target {
-                Target::ActivePower => power.active(),
-                Target::TotalPower => power.total(),
-                Target::Component(i) => power.components[i].total(),
-            };
             // Physical-design variability the performance counters
             // cannot see (wire detours, data-dependent capacitance...).
             // Einspower reference data carries it; a counter model
@@ -103,11 +127,21 @@ pub fn build_dataset(
             sample_idx += 1;
             let h =
                 (sample_idx.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as f64 / (1u64 << 24) as f64;
-            let t = t * (1.0 + 0.08 * (h - 0.5));
-            d.push(feats, t);
+            let jitter = 1.0 + 0.08 * (h - 0.5);
+            for (d, target) in data.iter_mut().zip(targets.iter()) {
+                let d = d.get_or_insert_with(|| Dataset::new(names.clone()));
+                let t = match *target {
+                    Target::ActivePower => power.active(),
+                    Target::TotalPower => power.total(),
+                    Target::Component(i) => power.components[i].total(),
+                };
+                d.push(feats.clone(), t * jitter);
+            }
         }
     }
-    data.unwrap_or_else(|| Dataset::new(Vec::new()))
+    data.into_iter()
+        .map(|d| d.unwrap_or_else(|| Dataset::new(Vec::new())))
+        .collect()
 }
 
 /// One constraint-variant curve of Fig. 11.

@@ -27,6 +27,6 @@ mod regress;
 mod select;
 
 pub use dataset::Dataset;
-pub use linalg::solve_normal_equations;
-pub use regress::{fit, FitOptions, LinearModel};
+pub use linalg::{solve_normal_equations, Gram};
+pub use regress::{fit, FitCache, FitOptions, LinearModel};
 pub use select::{forward_select, input_sweep, SweepPoint};

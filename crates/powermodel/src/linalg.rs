@@ -33,6 +33,99 @@ pub fn solve_normal_equations(x: &[Vec<f64>], y: &[f64], ridge: f64) -> Option<V
     gaussian_solve(&mut a, &mut b)
 }
 
+/// Precomputed `XᵀX` / `Xᵀy` accumulators over a full-width feature
+/// matrix extended with a trailing all-ones column, for solving subset
+/// normal equations without rebuilding the design matrix per subset.
+///
+/// Forward selection refits the same rows hundreds of times on varying
+/// feature subsets; building `XᵀX` from scratch each time is `O(rows ·
+/// k²)` per candidate. Every subset entry is a plain sum over rows of
+/// `row[i] * row[j]`, so the full-width sums can be accumulated once and
+/// reused.
+///
+/// Bit-exactness: each cached entry is accumulated row by row in dataset
+/// order — the identical sequence of f64 multiplies and adds
+/// [`solve_normal_equations`] performs for that entry (products commute
+/// exactly, and each entry's sum order is the row order either way) — so
+/// [`Gram::solve`] returns the same floats as building the subset design
+/// matrix directly.
+pub struct Gram {
+    /// Feature count; the ones column lives at index `width`.
+    width: usize,
+    n_rows: usize,
+    /// Full mirrored `(width+1)²` matrix of column-pair dot products.
+    g: Vec<Vec<f64>>,
+    /// Per-column dot product with the target.
+    c: Vec<f64>,
+}
+
+impl Gram {
+    /// Accumulates the cache over `rows` (each of `width` features) and
+    /// targets `y`.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // matrix index symmetry
+    pub fn new(width: usize, rows: &[Vec<f64>], y: &[f64]) -> Gram {
+        debug_assert_eq!(rows.len(), y.len(), "row/target count mismatch");
+        let n = width + 1;
+        let mut g = vec![vec![0.0; n]; n];
+        let mut c = vec![0.0; n];
+        for (row, &yi) in rows.iter().zip(y.iter()) {
+            debug_assert_eq!(row.len(), width);
+            for i in 0..width {
+                c[i] += row[i] * yi;
+                for j in i..width {
+                    g[i][j] += row[i] * row[j];
+                }
+                // Pair with the ones column: the product is exactly row[i].
+                g[i][width] += row[i];
+            }
+            c[width] += yi;
+            g[width][width] += 1.0;
+        }
+        for i in 0..n {
+            for j in 0..i {
+                g[i][j] = g[j][i];
+            }
+        }
+        Gram {
+            width,
+            n_rows: rows.len(),
+            g,
+            c,
+        }
+    }
+
+    /// Index of the implicit all-ones (intercept) column.
+    #[must_use]
+    pub fn intercept_col(&self) -> usize {
+        self.width
+    }
+
+    /// Solves `(XᵀX + ridge·I) β = Xᵀy` for the design matrix whose
+    /// columns are `cols` (in order; [`Gram::intercept_col`] selects the
+    /// ones column). Returns exactly what [`solve_normal_equations`]
+    /// would on that matrix.
+    #[must_use]
+    #[allow(clippy::needless_range_loop)] // diagonal ridge update
+    pub fn solve(&self, cols: &[usize], ridge: f64) -> Option<Vec<f64>> {
+        let n = cols.len();
+        // An empty design matrix (no columns, or no rows to infer a width
+        // from) is singular in the direct path; mirror that.
+        if n == 0 || self.n_rows == 0 {
+            return None;
+        }
+        let mut a: Vec<Vec<f64>> = cols
+            .iter()
+            .map(|&p| cols.iter().map(|&q| self.g[p][q]).collect())
+            .collect();
+        let mut b: Vec<f64> = cols.iter().map(|&p| self.c[p]).collect();
+        for i in 0..n {
+            a[i][i] += ridge;
+        }
+        gaussian_solve(&mut a, &mut b)
+    }
+}
+
 /// In-place Gaussian elimination with partial pivoting.
 #[allow(clippy::needless_range_loop)] // index symmetry reads clearer here
 fn gaussian_solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {

@@ -38,7 +38,7 @@
 #![warn(missing_docs)]
 
 use p10_power::{ComponentKind, PowerModel, PowerReport};
-use p10_uarch::{Activity, Core, CoreConfig, SimResult};
+use p10_uarch::{Activity, Core, CoreConfig, SimResult, SpanObserver};
 use serde::{Deserialize, Serialize};
 
 /// Region of interest: cycles to skip (warmup) and the cycle budget.
@@ -160,82 +160,122 @@ pub struct RtlReport {
     pub slices: Vec<SliceStats>,
     /// The aggregate Powerminer report.
     pub powerminer: PowerminerReport,
-    /// Per-cycle bookkeeping operations performed (the "cost" of detailed
-    /// simulation that APEX avoids).
+    /// Per-cycle-equivalent bookkeeping operations the detailed
+    /// methodology accounts for (the "cost" of latch-accurate simulation
+    /// that APEX avoids). The span-aware observer performs the underlying
+    /// group/slice evaluation once per homogeneous run of cycles, but
+    /// this counter stays per-cycle so reports are independent of how
+    /// the scheduler delivered the cycles.
     pub bookkeeping_ops: u64,
 }
 
-/// Runs the detailed latch-accurate simulation.
+/// The span-aware latch bookkeeper behind [`run_detailed`].
 ///
-/// Per simulated cycle this performs latch bookkeeping across all 39
-/// component groups (the deliberate cost of latch-accurate power
-/// simulation); the accumulated per-group statistics become the
-/// Powerminer report.
-#[must_use]
-pub fn run_detailed(
-    cfg: &CoreConfig,
-    traces: Vec<p10_isa::Trace>,
-    roi: Roi,
-    toggle: ToggleDensity,
-) -> RtlReport {
-    let model = PowerModel::for_config(cfg);
-    let n_groups = model.components().len();
-    // Per-group accumulators: [enabled_latch_cycles, events, latch_cycles]
-    let mut acc = vec![[0.0f64; 3]; n_groups];
-    // Per-slice layout: (group index, slice latches, utilization weight)
-    // with an exponential hot-to-cold profile within each group.
-    let mut slice_layout: Vec<(usize, f64, f64)> = Vec::new();
-    let hot_cold_lambda = match model.style() {
-        // Fine-grained gating concentrates activity: cold macros go
-        // fully dark, so the hot-to-cold spread is much wider.
-        p10_power::DesignStyle::ClockGatedByDefault => 6.0,
-        p10_power::DesignStyle::Legacy => 3.0,
-    };
-    for (gi, spec) in model.components().iter().enumerate() {
-        let n_slices = ((spec.latches / 64.0).ceil() as usize).max(1);
-        // Normalize the profile so the weights average to 1 per group.
-        let lambda = hot_cold_lambda / n_slices as f64;
-        let weights: Vec<f64> = (0..n_slices).map(|j| (-lambda * j as f64).exp()).collect();
-        let mean: f64 = weights.iter().sum::<f64>() / n_slices as f64;
-        for (j, w) in weights.iter().enumerate() {
-            let latches = if j + 1 == n_slices {
-                spec.latches - 64.0 * (n_slices as f64 - 1.0)
-            } else {
-                64.0
-            };
-            slice_layout.push((gi, latches.max(1.0), w / mean));
+/// Live cycles are accumulated one at a time; fast-forwarded spans are
+/// folded in closed form. To keep every `f64` accumulator **bit-identical**
+/// no matter how the scheduler delivers the cycles, consecutive cycles
+/// with an identical per-cycle activity delta are coalesced into *runs*
+/// (a span is just a pre-coalesced run, and idle stretches stepped by the
+/// polled scheduler coalesce into the same runs), and each run's
+/// group/slice contributions are evaluated once and scaled by the run
+/// length — linear in components per run instead of per cycle.
+struct LatchBookkeeper {
+    model: PowerModel,
+    /// (group index, slice latches, utilization weight) per 64-latch slice.
+    slice_layout: Vec<(usize, f64, f64)>,
+    idle_floor: f64,
+    idle_floor_is_flat: bool,
+    warmup: u64,
+    warmup_snapshot: Option<Activity>,
+    /// Cumulative activity through the last delivered cycle.
+    prev: Activity,
+    /// Current run: (per-cycle delta, length in cycles).
+    pending: Option<(Activity, u64)>,
+    /// Per-group accumulators: [enabled_latch_cycles, events, latch_cycles].
+    acc: Vec<[f64; 3]>,
+    /// Per-slice accumulators: [enable, switching].
+    slice_acc: Vec<[f64; 2]>,
+    bookkeeping_ops: u64,
+    /// Observation-effectiveness counters: cycles delivered live vs via
+    /// closed-form spans.
+    live_cycles: u64,
+    span_cycles: u64,
+}
+
+impl LatchBookkeeper {
+    fn new(model: PowerModel, warmup: u64) -> Self {
+        // Per-slice layout with an exponential hot-to-cold utilization
+        // profile within each group.
+        let hot_cold_lambda = match model.style() {
+            // Fine-grained gating concentrates activity: cold macros go
+            // fully dark, so the hot-to-cold spread is much wider.
+            p10_power::DesignStyle::ClockGatedByDefault => 6.0,
+            p10_power::DesignStyle::Legacy => 3.0,
+        };
+        let mut slice_layout: Vec<(usize, f64, f64)> = Vec::new();
+        for (gi, spec) in model.components().iter().enumerate() {
+            let n_slices = ((spec.latches / 64.0).ceil() as usize).max(1);
+            // Normalize the profile so the weights average to 1 per group.
+            let lambda = hot_cold_lambda / n_slices as f64;
+            let weights: Vec<f64> = (0..n_slices).map(|j| (-lambda * j as f64).exp()).collect();
+            let mean: f64 = weights.iter().sum::<f64>() / n_slices as f64;
+            for (j, w) in weights.iter().enumerate() {
+                let latches = if j + 1 == n_slices {
+                    spec.latches - 64.0 * (n_slices as f64 - 1.0)
+                } else {
+                    64.0
+                };
+                slice_layout.push((gi, latches.max(1.0), w / mean));
+            }
+        }
+        let tech = p10_power::TechParams::for_style(model.style());
+        let idle_floor_is_flat = matches!(model.style(), p10_power::DesignStyle::Legacy);
+        let n_groups = model.components().len();
+        let n_slices = slice_layout.len();
+        LatchBookkeeper {
+            model,
+            slice_layout,
+            idle_floor: tech.idle_clock_enable,
+            idle_floor_is_flat,
+            warmup,
+            warmup_snapshot: None,
+            prev: Activity::default(),
+            pending: None,
+            acc: vec![[0.0f64; 3]; n_groups],
+            slice_acc: vec![[0.0f64; 2]; n_slices],
+            bookkeeping_ops: 0,
+            live_cycles: 0,
+            span_cycles: 0,
         }
     }
-    let mut slice_acc = vec![[0.0f64; 2]; slice_layout.len()]; // [enable, switching]
-    let tech = p10_power::TechParams::for_style(model.style());
-    let idle_floor = tech.idle_clock_enable;
-    let idle_floor_is_flat = matches!(model.style(), p10_power::DesignStyle::Legacy);
-    let mut warmup_snapshot: Option<Activity> = None;
-    let mut prev = Activity::default();
-    let mut bookkeeping_ops = 0u64;
 
-    let core = Core::new(cfg.clone());
-    let sim = core.run_observed(traces, roi.max_cycles, |cycle, act| {
-        if cycle == roi.warmup_cycles {
-            warmup_snapshot = Some(*act);
+    /// Extends the current run by `n` cycles of per-cycle delta `d`, or
+    /// flushes and starts a new run when the delta changes.
+    fn push_run(&mut self, d: Activity, n: u64) {
+        match &mut self.pending {
+            Some((pd, pn)) if *pd == d => *pn += n,
+            _ => {
+                self.flush_run();
+                self.pending = Some((d, n));
+            }
         }
-        if cycle <= roi.warmup_cycles {
-            prev = *act;
+    }
+
+    /// Folds the pending run into the accumulators: group stats are
+    /// evaluated once on the per-cycle delta and scaled by the run length
+    /// (toggle/clock-enable/ghost accounting in closed form).
+    fn flush_run(&mut self) {
+        let Some((d, n)) = self.pending.take() else {
             return;
-        }
-        // Latch-accurate bookkeeping: evaluate every group's activity for
-        // this single cycle, then track every 64-latch slice — this is
-        // the expensive per-cycle work APEX avoids.
-        let delta = act.delta(&prev);
-        prev = *act;
-        let stats = model.group_stats(&delta);
+        };
+        let nf = n as f64;
+        let stats = self.model.group_stats(&d);
         for (i, g) in stats.iter().enumerate() {
-            acc[i][0] += g.clock_enable * g.latches;
-            acc[i][1] += g.events_per_cycle;
-            acc[i][2] += g.latches;
-            bookkeeping_ops += 1;
+            self.acc[i][0] += g.clock_enable * g.latches * nf;
+            self.acc[i][1] += g.events_per_cycle * nf;
+            self.acc[i][2] += g.latches * nf;
         }
-        for (si, (gi, latches, weight)) in slice_layout.iter().enumerate() {
+        for (si, (gi, latches, weight)) in self.slice_layout.iter().enumerate() {
             let g = &stats[*gi];
             let write_rate = (g.events_per_cycle * 64.0 / g.latches.max(1.0)).min(1.0);
             // Clock-enable distribution across slices differs by design
@@ -243,16 +283,92 @@ pub fn run_detailed(
             // slice at least at the idle floor (clock gating added after
             // the fact), while the clocks-off-by-default design gates
             // each slice individually — cold slices sit near zero.
-            let enable = if idle_floor_is_flat {
-                (idle_floor + (g.clock_enable - idle_floor).max(0.0) * weight).min(1.0)
+            let enable = if self.idle_floor_is_flat {
+                (self.idle_floor + (g.clock_enable - self.idle_floor).max(0.0) * weight).min(1.0)
             } else {
                 (g.clock_enable * weight).min(1.0)
             };
-            slice_acc[si][0] += enable * latches;
-            slice_acc[si][1] += (write_rate * weight).min(enable.max(1e-12)) * latches;
-            bookkeeping_ops += 1;
+            self.slice_acc[si][0] += enable * latches * nf;
+            self.slice_acc[si][1] += (write_rate * weight).min(enable.max(1e-12)) * latches * nf;
         }
-    });
+        self.bookkeeping_ops += (stats.len() as u64 + self.slice_layout.len() as u64) * n;
+    }
+}
+
+impl SpanObserver for LatchBookkeeper {
+    fn on_cycle(&mut self, cycle: u64, act: &Activity) {
+        self.live_cycles += 1;
+        if cycle == self.warmup {
+            self.warmup_snapshot = Some(*act);
+        }
+        if cycle <= self.warmup {
+            self.prev = *act;
+            return;
+        }
+        let d = act.delta(&self.prev);
+        self.prev = *act;
+        self.push_run(d, 1);
+    }
+
+    fn on_span(&mut self, start: u64, len: u64, delta: &Activity) {
+        self.span_cycles += len;
+        let end = start + len - 1;
+        let mut measured = *delta;
+        let mut measured_len = len;
+        if start <= self.warmup {
+            // ROI-warmup boundary: split the span exactly at the warmup
+            // cycle so the snapshot equals what per-cycle stepping takes.
+            let pre_len = (self.warmup - start + 1).min(len);
+            let pre = delta.span_prefix(len, pre_len);
+            self.prev = self.prev.sum(&pre);
+            if self.warmup <= end {
+                self.warmup_snapshot = Some(self.prev);
+            }
+            if pre_len == len {
+                return;
+            }
+            measured = measured.delta(&pre);
+            measured_len = len - pre_len;
+        }
+        let per_cycle = measured.span_prefix(measured_len, 1);
+        self.prev = self.prev.sum(&measured);
+        self.push_run(per_cycle, measured_len);
+    }
+}
+
+/// Runs the detailed latch-accurate simulation.
+///
+/// Latch bookkeeping across all 39 component groups rides the span-aware
+/// observer: live cycles (and, under the polled scheduler, every cycle)
+/// are evaluated per homogeneous run, and fast-forwarded idle stretches
+/// arrive as closed-form spans — linear in components per span instead of
+/// per cycle, with the ROI-warmup boundary split exactly. The accumulated
+/// per-group statistics become the Powerminer report, bit-identical to
+/// per-cycle stepping.
+#[must_use]
+pub fn run_detailed(
+    cfg: &CoreConfig,
+    traces: Vec<p10_isa::Trace>,
+    roi: Roi,
+    toggle: ToggleDensity,
+) -> RtlReport {
+    let mut keeper = LatchBookkeeper::new(PowerModel::for_config(cfg), roi.warmup_cycles);
+
+    let core = Core::new(cfg.clone());
+    let sim = core.run_spanned(traces, roi.max_cycles, &mut keeper);
+    keeper.flush_run();
+    p10_obs::counter("sim.observed_live_cycles", keeper.live_cycles);
+    p10_obs::counter("sim.observed_span_cycles", keeper.span_cycles);
+
+    let LatchBookkeeper {
+        model,
+        slice_layout,
+        warmup_snapshot,
+        acc,
+        slice_acc,
+        bookkeeping_ops,
+        ..
+    } = keeper;
 
     let warmup = warmup_snapshot.unwrap_or_default();
     let roi_activity = sim.activity.delta(&warmup);

@@ -59,6 +59,6 @@ pub use config::{
     AblationGroup, BranchConfig, CacheConfig, CoreConfig, FetchPolicy, MmaConfig, Scheduler,
     SmtMode,
 };
-pub use pipeline::Core;
+pub use pipeline::{Core, SpanObserver};
 pub use stats::{Activity, CycleAttribution, SimResult};
 pub use tlb::{Mmu, TranslateSide};

@@ -22,9 +22,79 @@ use p10_isa::{DynOp, MmaKind, OpClass, Trace, ARCH_REG_COUNT, MAX_SRCS};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-/// Per-cycle observer borrow threaded through the run loop (`None` when
-/// running unobserved).
-type Observer<'a> = Option<&'a mut dyn FnMut(u64, &Activity)>;
+/// Span-aware observer of a simulation run.
+///
+/// Live (stepped) cycles arrive one at a time through
+/// [`on_cycle`](Self::on_cycle) with the *cumulative* activity counters.
+/// Idle stretches the event-driven scheduler fast-forwards over arrive as
+/// closed-form *spans* through [`on_span`](Self::on_span) instead of being
+/// replayed cycle by cycle — this is what lets the power-extraction stack
+/// (RTLSim/APEX analogs) ride the fast path.
+///
+/// ## The span contract
+///
+/// `on_span(start, len, delta)` covers cycles `start ..= start + len - 1`
+/// and `delta` is exactly the element-wise difference between the
+/// cumulative [`Activity`] after and before the span. Spans are
+/// **homogeneous**: every counter changes at a constant per-cycle rate, so
+/// each field of `delta` is divisible by `len` and
+/// [`Activity::span_prefix`] can split a span at any interior cycle
+/// exactly (stretches where the MMA power-gate closes mid-way are emitted
+/// as two spans, split at the gate-off cycle). Only four counters can be
+/// non-zero in a span delta: `cycles`, `mma_powered_cycles`,
+/// `dispatch_stall_cycles` and `window_occupancy_acc` — nothing fetches,
+/// issues or completes during a fast-forwarded stretch.
+///
+/// Deliveries are contiguous and in order: the cycles seen via `on_cycle`
+/// plus the cycles covered by `on_span` partition `1 ..= cycles` with no
+/// gaps or overlaps. Under the polled scheduler (or when
+/// [`wants_spans`](Self::wants_spans) is `false`) everything arrives via
+/// `on_cycle`.
+///
+/// In debug builds the scheduler cross-checks every span against a
+/// cycle-by-cycle replay of the same stretch (the accumulated per-cycle
+/// deltas must equal the span delta exactly).
+pub trait SpanObserver {
+    /// Called after every live (stepped) cycle with the cumulative
+    /// activity counters.
+    fn on_cycle(&mut self, cycle: u64, act: &Activity);
+
+    /// Called for a fast-forwarded stretch covering cycles
+    /// `start ..= start + len - 1` with the closed-form activity delta
+    /// over the stretch (see the trait docs for the homogeneity
+    /// guarantees).
+    fn on_span(&mut self, start: u64, len: u64, delta: &Activity);
+
+    /// Whether this observer accepts spans. Returning `false` makes the
+    /// scheduler replay fast-forwarded stretches one cycle at a time
+    /// through [`on_cycle`](Self::on_cycle) — the per-cycle compatibility
+    /// mode used by [`Core::run_observed`].
+    fn wants_spans(&self) -> bool {
+        true
+    }
+}
+
+/// Adapter presenting a plain per-cycle closure as a [`SpanObserver`]
+/// that opts out of spans (fast-forwarded stretches are replayed).
+struct PerCycleObserver<F>(F);
+
+impl<F: FnMut(u64, &Activity)> SpanObserver for PerCycleObserver<F> {
+    fn on_cycle(&mut self, cycle: u64, act: &Activity) {
+        (self.0)(cycle, act);
+    }
+
+    fn on_span(&mut self, _start: u64, _len: u64, _delta: &Activity) {
+        unreachable!("per-cycle observers never receive spans");
+    }
+
+    fn wants_spans(&self) -> bool {
+        false
+    }
+}
+
+/// Observer borrow threaded through the run loop (`None` when running
+/// unobserved).
+type Observer<'a> = Option<&'a mut dyn SpanObserver>;
 
 const NO_SLOT: u32 = u32::MAX;
 
@@ -230,12 +300,14 @@ impl Core {
     }
 
     /// Like [`Core::run`], but invokes `observer(cycle, &activity)` after
-    /// every simulated cycle. This is the hook the RTLSim/APEX analogs use
-    /// for per-cycle latch bookkeeping and periodic counter extraction.
+    /// every simulated cycle — the per-cycle compatibility adapter over
+    /// [`Core::run_spanned`].
     ///
-    /// With an observer attached, fast-forwarded idle stretches are
-    /// replayed one cycle at a time (with the same per-cycle accounting)
-    /// so the observer sees every cycle's cumulative activity.
+    /// With a per-cycle observer attached, fast-forwarded idle stretches
+    /// are replayed one cycle at a time (with the same per-cycle
+    /// accounting) so the observer sees every cycle's cumulative activity.
+    /// Span-aware consumers should implement [`SpanObserver`] and use
+    /// [`Core::run_spanned`] instead, which keeps the fast path fast.
     ///
     /// # Panics
     ///
@@ -245,9 +317,29 @@ impl Core {
         self,
         traces: Vec<Trace>,
         max_cycles: u64,
-        mut observer: impl FnMut(u64, &Activity),
+        observer: impl FnMut(u64, &Activity),
     ) -> SimResult {
-        self.run_inner(traces, max_cycles, Some(&mut observer))
+        let mut adapter = PerCycleObserver(observer);
+        self.run_inner(traces, max_cycles, Some(&mut adapter))
+    }
+
+    /// Like [`Core::run`], but delivers the simulation to a span-aware
+    /// observer: live cycles via [`SpanObserver::on_cycle`] and
+    /// fast-forwarded idle stretches via [`SpanObserver::on_span`] with
+    /// their closed-form activity delta — so observation no longer forces
+    /// per-cycle replay of the event-driven scheduler's skipped cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more traces are supplied than the configured SMT mode
+    /// supports, or if no traces are supplied.
+    pub fn run_spanned(
+        self,
+        traces: Vec<Trace>,
+        max_cycles: u64,
+        observer: &mut dyn SpanObserver,
+    ) -> SimResult {
+        self.run_inner(traces, max_cycles, Some(observer))
     }
 
     fn run_inner(
@@ -273,7 +365,7 @@ impl Core {
             self.step();
             self.act.cycles = self.cycle;
             if let Some(obs) = observer.as_deref_mut() {
-                obs(self.cycle, &self.act);
+                obs.on_cycle(self.cycle, &self.act);
             }
             if event_driven && self.cycle < max_cycles {
                 self.fast_forward(max_cycles, &mut observer);
@@ -436,29 +528,70 @@ impl Core {
             StallKind::Idle
         };
         if let Some(obs) = observer.as_deref_mut() {
-            for _ in 0..skipped {
-                self.idle_tick(dispatch_blocked_threads, stall);
-                self.act.cycles = self.cycle;
-                obs(self.cycle, &self.act);
+            if !obs.wants_spans() {
+                // Per-cycle compatibility mode: replay the stretch one
+                // cycle at a time so the observer misses nothing.
+                for _ in 0..skipped {
+                    self.idle_tick(dispatch_blocked_threads, stall);
+                    self.act.cycles = self.cycle;
+                    obs.on_cycle(self.cycle, &self.act);
+                }
+                return;
             }
-        } else {
-            // Closed-form equivalent of `skipped` idle_tick calls.
-            if let (Some(ready), Some(mma)) = (self.mma_ready_at, self.cfg.mma) {
-                let idle_from = self.mma_last_use.max(ready);
-                // mma_gate_tick counts the powered cycle before checking
-                // the gate, so the gate-off cycle itself is still powered.
-                let gate_off = idle_from + u64::from(mma.idle_gate_cycles) + 1;
-                debug_assert!(gate_off > self.cycle);
-                self.act.mma_powered_cycles += skipped.min(gate_off - self.cycle);
-                if target >= gate_off {
-                    self.mma_ready_at = None;
+        }
+        // Closed-form equivalent of `skipped` idle_tick calls.
+        let start = self.cycle + 1;
+        #[cfg(debug_assertions)]
+        let saved_mma_ready = self.mma_ready_at;
+        // Cycles of the stretch during which the MMA unit stays powered
+        // (the prefix up to and including the gate-off cycle). This is the
+        // only rate change inside a stretch, so it is also where a span
+        // must be split to stay homogeneous.
+        let mut powered = 0u64;
+        if let (Some(ready), Some(mma)) = (self.mma_ready_at, self.cfg.mma) {
+            let idle_from = self.mma_last_use.max(ready);
+            // mma_gate_tick counts the powered cycle before checking
+            // the gate, so the gate-off cycle itself is still powered.
+            let gate_off = idle_from + u64::from(mma.idle_gate_cycles) + 1;
+            debug_assert!(gate_off > self.cycle);
+            powered = skipped.min(gate_off - self.cycle);
+            self.act.mma_powered_cycles += powered;
+            if target >= gate_off {
+                self.mma_ready_at = None;
+            }
+        }
+        self.act.dispatch_stall_cycles += dispatch_blocked_threads * skipped;
+        self.act.window_occupancy_acc += u64::from(self.window_used) * skipped;
+        *self.attr_bucket(stall) += skipped;
+        self.rr_offset = self.rr_offset.wrapping_add(skipped as usize);
+        self.cycle = target;
+        if observer.is_some() || cfg!(debug_assertions) {
+            let window_used = u64::from(self.window_used);
+            let span_delta = |len: u64, mma_powered: bool| Activity {
+                cycles: len,
+                mma_powered_cycles: if mma_powered { len } else { 0 },
+                dispatch_stall_cycles: dispatch_blocked_threads * len,
+                window_occupancy_acc: window_used * len,
+                ..Activity::default()
+            };
+            // ≤ 2 homogeneous sub-spans, split at the MMA gate-off cycle.
+            let spans = [
+                (start, powered, span_delta(powered, true)),
+                (
+                    start + powered,
+                    skipped - powered,
+                    span_delta(skipped - powered, false),
+                ),
+            ];
+            #[cfg(debug_assertions)]
+            self.cross_check_spans(saved_mma_ready, dispatch_blocked_threads, target, &spans);
+            if let Some(obs) = observer.as_deref_mut() {
+                for (s, len, delta) in &spans {
+                    if *len > 0 {
+                        obs.on_span(*s, *len, delta);
+                    }
                 }
             }
-            self.act.dispatch_stall_cycles += dispatch_blocked_threads * skipped;
-            self.act.window_occupancy_acc += u64::from(self.window_used) * skipped;
-            *self.attr_bucket(stall) += skipped;
-            self.rr_offset = self.rr_offset.wrapping_add(skipped as usize);
-            self.cycle = target;
         }
         // `lmq` entries expiring inside the skipped stretch need no
         // per-cycle action: the queue is only read by load issue, and the
@@ -476,6 +609,62 @@ impl Core {
         self.act.window_occupancy_acc += u64::from(self.window_used);
         *self.attr_bucket(stall) += 1;
         self.rr_offset = self.rr_offset.wrapping_add(1);
+    }
+
+    /// Debug-build cross-check of the span closed form: replays the
+    /// fast-forwarded stretch one cycle at a time (the exact per-cycle
+    /// accounting `idle_tick`/`mma_gate_tick` would have performed) and
+    /// asserts that each emitted span delta equals the sum of its
+    /// replayed per-cycle deltas — the invariant every [`SpanObserver`]
+    /// relies on.
+    #[cfg(debug_assertions)]
+    fn cross_check_spans(
+        &self,
+        saved_mma_ready: Option<u64>,
+        dispatch_blocked_threads: u64,
+        target: u64,
+        spans: &[(u64, u64, Activity)],
+    ) {
+        let window_used = u64::from(self.window_used);
+        let mut mma_ready = saved_mma_ready;
+        let mut covered = 0u64;
+        for (s, len, delta) in spans {
+            let mut acc = Activity::default();
+            for c in *s..s + len {
+                // One replayed idle cycle: cycle count, MMA gate tick,
+                // dispatch-stall and window-occupancy accounting.
+                acc.cycles += 1;
+                if let (Some(ready), Some(mma)) = (mma_ready, self.cfg.mma) {
+                    acc.mma_powered_cycles += 1;
+                    let idle_from = self.mma_last_use.max(ready);
+                    if c > idle_from + u64::from(mma.idle_gate_cycles) {
+                        mma_ready = None;
+                    }
+                }
+                acc.dispatch_stall_cycles += dispatch_blocked_threads;
+                acc.window_occupancy_acc += window_used;
+            }
+            assert_eq!(
+                &acc,
+                delta,
+                "span [{s}, {}] delta must equal its cycle-by-cycle replay",
+                s + len - 1
+            );
+            covered += len;
+            // Homogeneity: every counter is divisible by the span length,
+            // so consumers can split the span at any interior cycle.
+            if *len > 0 {
+                for (name, v) in delta.as_pairs() {
+                    assert_eq!(v % len, 0, "{name} must be homogeneous over the span");
+                }
+            }
+        }
+        let first = spans.iter().map(|(s, _, _)| *s).min().unwrap_or(target);
+        assert_eq!(covered, target - first + 1, "spans must tile the stretch");
+        assert_eq!(
+            mma_ready, self.mma_ready_at,
+            "replayed MMA gate state must match the closed form"
+        );
     }
 
     fn attr_bucket(&mut self, stall: StallKind) -> &mut u64 {

@@ -35,6 +35,35 @@ macro_rules! activity_struct {
                 vec![$((stringify!($field), self.$field),)+]
             }
 
+            /// Scales a *homogeneous* span delta of `len` cycles down to
+            /// its first `prefix` cycles, exactly.
+            ///
+            /// Span deltas delivered by `SpanObserver::on_span` change
+            /// every counter at a constant per-cycle rate, so each field
+            /// is divisible by `len` and the prefix is exact integer
+            /// arithmetic — this is what lets consumers split a span at
+            /// an arbitrary interior cycle (extraction-window or
+            /// ROI-warmup boundaries) without losing a single count.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len` is zero or `prefix > len`; debug builds
+            /// also assert the homogeneity (divisibility) of every field.
+            #[must_use]
+            pub fn span_prefix(&self, len: u64, prefix: u64) -> Activity {
+                assert!(len > 0 && prefix <= len, "prefix {prefix} of span len {len}");
+                Activity {
+                    $($field: {
+                        debug_assert_eq!(
+                            self.$field % len,
+                            0,
+                            concat!(stringify!($field), " must be homogeneous over the span"),
+                        );
+                        self.$field / len * prefix
+                    },)+
+                }
+            }
+
             /// Number of counters.
             #[must_use]
             pub fn len() -> usize {

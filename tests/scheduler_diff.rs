@@ -149,6 +149,155 @@ fn schedulers_agree_on_mma_kernels() {
     assert_schedulers_agree(&CoreConfig::power10_no_mma(), &traces, "dgemm_vsu");
 }
 
+/// Span-aware observer that checks the delivery stream tiles the run:
+/// live cycles and spans arrive contiguously, in order, and together
+/// account for every simulated cycle exactly once.
+struct TilingObserver {
+    next_cycle: u64,
+    live_cycles: u64,
+    span_cycles: u64,
+}
+
+impl TilingObserver {
+    fn new() -> Self {
+        TilingObserver {
+            next_cycle: 1,
+            live_cycles: 0,
+            span_cycles: 0,
+        }
+    }
+}
+
+impl p10sim::uarch::SpanObserver for TilingObserver {
+    fn on_cycle(&mut self, cycle: u64, _act: &p10sim::uarch::Activity) {
+        assert_eq!(
+            cycle, self.next_cycle,
+            "live cycles arrive densely, in order"
+        );
+        self.next_cycle += 1;
+        self.live_cycles += 1;
+    }
+
+    fn on_span(&mut self, start: u64, len: u64, delta: &p10sim::uarch::Activity) {
+        assert_eq!(start, self.next_cycle, "spans arrive densely, in order");
+        assert!(len > 0, "empty spans are never delivered");
+        assert_eq!(delta.cycles, len, "a span delta covers exactly its cycles");
+        self.next_cycle += len;
+        self.span_cycles += len;
+    }
+}
+
+/// Observation must not perturb the simulation. Runs the same traces
+/// three ways on the event-driven scheduler — unobserved, under a
+/// span-aware observer, and under the per-cycle compatibility adapter —
+/// and demands byte-identical `SimResult`s (activity + attribution)
+/// plus a delivery stream that tiles the run.
+///
+/// Tests build with debug assertions enabled, so every fast-forwarded
+/// span in here is additionally cross-checked inside the simulator
+/// against a cycle-by-cycle replay of the skipped stretch
+/// (`cross_check_spans`) — this is the wiring point for that invariant.
+fn assert_observation_is_transparent(cfg: &CoreConfig, traces: &[p10sim::isa::Trace], label: &str) {
+    let mut cfg = cfg.clone();
+    cfg.scheduler = Scheduler::EventDriven;
+    let plain = Core::new(cfg.clone()).run(traces.to_vec(), 50_000_000);
+    let mut tiling = TilingObserver::new();
+    let spanned = Core::new(cfg.clone()).run_spanned(traces.to_vec(), 50_000_000, &mut tiling);
+    let mut per_cycle_calls = 0u64;
+    let per_cycle = Core::new(cfg.clone()).run_observed(traces.to_vec(), 50_000_000, |_, _| {
+        per_cycle_calls += 1;
+    });
+
+    let pj = serde_json::to_string(&plain).expect("serialize plain");
+    let sj = serde_json::to_string(&spanned).expect("serialize spanned");
+    let cj = serde_json::to_string(&per_cycle).expect("serialize per-cycle");
+    assert_eq!(
+        pj, sj,
+        "span observer must not perturb the run on {label} @ {}",
+        cfg.name
+    );
+    assert_eq!(
+        pj, cj,
+        "per-cycle adapter must not perturb the run on {label} @ {}",
+        cfg.name
+    );
+    assert_eq!(
+        plain.attribution, spanned.attribution,
+        "attribution must be observation-invariant on {label} @ {}",
+        cfg.name
+    );
+    assert_eq!(
+        tiling.live_cycles + tiling.span_cycles,
+        plain.activity.cycles,
+        "span deliveries must tile the run on {label} @ {}",
+        cfg.name
+    );
+    assert_eq!(
+        per_cycle_calls, plain.activity.cycles,
+        "per-cycle adapter must see every cycle on {label} @ {}",
+        cfg.name
+    );
+}
+
+/// Observed-vs-unobserved differential grid: every preset (P9/P10
+/// families across SMT modes) × every SPECint-like benchmark.
+#[test]
+fn observed_runs_match_unobserved_on_specint_suite() {
+    for cfg in presets() {
+        let threads = cfg.smt.threads();
+        for bench in specint_like() {
+            let traces: Vec<_> = (0..threads)
+                .map(|t| bench.workload(42 + t as u64).trace_or_panic(3_000))
+                .collect();
+            assert_observation_is_transparent(&cfg, &traces, &bench.name);
+        }
+    }
+}
+
+/// Observed-vs-unobserved differential grid: P9/P10 × every Fig. 13
+/// derating microbench at its intended SMT level.
+#[test]
+fn observed_runs_match_unobserved_on_microbench_grid() {
+    for base in [CoreConfig::power9(), CoreConfig::power10()] {
+        for spec in derating_grid() {
+            let mut cfg = base.clone();
+            cfg.smt = smt_mode(spec.smt);
+            let traces: Vec<_> = (0..spec.smt)
+                .map(|t| generate(&spec, 7 + u64::from(t)).trace_or_panic(3_000))
+                .collect();
+            assert_observation_is_transparent(&cfg, &traces, &spec.name());
+        }
+    }
+}
+
+/// The latch-accurate RTL-sim analog now consumes the span stream; the
+/// simulation it embeds must still be the plain, unobserved one, bit for
+/// bit, on both processor generations.
+#[test]
+fn rtlsim_observed_sim_matches_plain_run() {
+    use p10sim::rtlsim::{run_detailed, Roi, ToggleDensity};
+    for cfg in [CoreConfig::power9(), CoreConfig::power10()] {
+        for bench_idx in [2usize, 8] {
+            let bench = &specint_like()[bench_idx];
+            let trace = bench.workload(42).trace_or_panic(2_000);
+            let report = run_detailed(
+                &cfg,
+                vec![trace.clone()],
+                Roi::new(200, 50_000_000),
+                ToggleDensity::random_init(),
+            );
+            let plain = Core::new(cfg.clone()).run(vec![trace], 50_000_000);
+            assert_eq!(
+                serde_json::to_string(&report.sim).expect("serialize observed sim"),
+                serde_json::to_string(&plain).expect("serialize plain sim"),
+                "RTL-sim observation must not perturb the simulation for {} @ {}",
+                bench.name,
+                cfg.name
+            );
+        }
+    }
+}
+
 /// The observed (per-cycle callback) entry point must also agree: the
 /// fast-forward path replays skipped cycles one at a time for the
 /// observer, and the observer must see every cycle exactly once with
