@@ -144,9 +144,9 @@ impl SpanObserver for WindowExtractor<'_> {
 /// stretches arrive as closed-form spans and are split exactly at window
 /// boundaries, so the samples match per-cycle extraction bit for bit.
 #[must_use]
-pub fn run_apex(
+pub fn run_apex<T: Into<p10_isa::TraceView>>(
     cfg: &CoreConfig,
-    traces: Vec<p10_isa::Trace>,
+    traces: Vec<T>,
     window_cycles: u64,
     max_cycles: u64,
 ) -> ApexReport {
@@ -282,10 +282,10 @@ pub fn run_fig10(benchmarks: &[Benchmark], snippets: u32, ops_per_snippet: u64) 
     base.smt = SmtMode::Smt2;
     for b in benchmarks {
         for s in 0..snippets {
-            let traces: Vec<p10_isa::Trace> = (0..2)
+            let traces: Vec<p10_isa::TraceView> = (0..2)
                 .map(|t| {
                     b.workload(1000 + u64::from(s) * 17 + t)
-                        .trace_or_panic(ops_per_snippet)
+                        .trace_view_or_panic(ops_per_snippet)
                 })
                 .collect();
             for (model, cfg) in [

@@ -8,23 +8,33 @@
 //! (`apex-windowed`) — so the cost of riding the span-aware observer
 //! stream is tracked alongside the bare scheduler numbers.
 //!
+//! Trace acquisition is timed separately from simulation: each scenario
+//! reports the cold synthesis wall (first functional execution of the
+//! workload) next to the warm wall (every later acquisition, served
+//! zero-copy from the process-wide trace arena), and the per-row `wall s`
+//! column is pure simulation time over pre-acquired `TraceView`s.
+//!
 //! Besides the human-readable table on stdout, the bench writes
 //! `BENCH_pipeline.json` (override the path with `P10SIM_BENCH_OUT`) so
-//! the simulator's performance trajectory is tracked across PRs.
+//! the simulator's performance trajectory is tracked across PRs — schema
+//! `p10sim-bench-pipeline/v3` (v2 plus the per-scenario `synthesis`
+//! section).
 //!
 //! Run with `cargo bench -p p10-bench --bench sim_throughput`.
 
-use p10_isa::{Machine, ProgramBuilder, Reg, Trace};
+use p10_isa::{Machine, ProgramBuilder, Reg, TraceView};
 use p10_uarch::{Core, CoreConfig, Scheduler, SimResult, SmtMode};
+use p10_workloads::Workload;
 use serde::Serialize;
 use std::time::Instant;
 
 const MAX_CYCLES: u64 = 100_000_000;
+const MAX_TRACE_OPS: u64 = 50_000_000;
 const SAMPLES: usize = 5;
 
 /// Independent adds in a counted loop: issue-width bound, almost no
 /// stall cycles — the event-driven scheduler's worst case.
-fn alu_bound(iters: i64) -> Trace {
+fn alu_bound(iters: i64) -> Workload {
     let mut b = ProgramBuilder::new();
     b.li(Reg::gpr(4), iters);
     b.mtctr(Reg::gpr(4));
@@ -34,16 +44,19 @@ fn alu_bound(iters: i64) -> Trace {
         b.addi(Reg::gpr(r), Reg::gpr(r), 1);
     }
     b.bdnz(top);
-    Machine::new()
-        .run(&b.build(), 50_000_000)
-        .expect("alu loop")
+    Workload::new(
+        "bench_alu_bound".to_owned(),
+        b.build(),
+        Machine::new(),
+        Vec::new(),
+    )
 }
 
 /// A dependent page-stride load chain: the next address depends on the
 /// loaded value (which is zero, so the walk stays a plain stride), so
 /// every iteration serializes behind a memory miss — nearly every cycle
 /// is idle, the fast-forward best case.
-fn cache_miss_bound(iters: i64, seed: u64) -> Trace {
+fn cache_miss_bound(iters: i64, seed: u64) -> Workload {
     let mut b = ProgramBuilder::new();
     b.li(Reg::gpr(1), 0x20_0000 + (seed * 0x40_0000) as i64);
     b.li(Reg::gpr(4), iters);
@@ -53,15 +66,18 @@ fn cache_miss_bound(iters: i64, seed: u64) -> Trace {
     b.add(Reg::gpr(1), Reg::gpr(1), Reg::gpr(2)); // address <- loaded 0
     b.addi(Reg::gpr(1), Reg::gpr(1), 4096); // new page/line every iter
     b.bdnz(top);
-    Machine::new()
-        .run(&b.build(), 50_000_000)
-        .expect("chase loop")
+    Workload::new(
+        format!("bench_chase_{iters}_{seed}"),
+        b.build(),
+        Machine::new(),
+        Vec::new(),
+    )
 }
 
 struct Scenario {
     name: &'static str,
     cfg: CoreConfig,
-    traces: Vec<Trace>,
+    workloads: Vec<Workload>,
 }
 
 fn scenarios() -> Vec<Scenario> {
@@ -74,17 +90,17 @@ fn scenarios() -> Vec<Scenario> {
         Scenario {
             name: "alu_bound",
             cfg: p10(),
-            traces: vec![alu_bound(40_000)],
+            workloads: vec![alu_bound(40_000)],
         },
         Scenario {
             name: "cache_miss_bound",
             cfg: no_prefetch,
-            traces: vec![cache_miss_bound(20_000, 0)],
+            workloads: vec![cache_miss_bound(20_000, 0)],
         },
         Scenario {
             name: "smt4_mixed",
             cfg: smt4,
-            traces: (0..4)
+            workloads: (0..4)
                 .map(|t| cache_miss_bound(6_000 + 500 * t, t as u64))
                 .collect(),
         },
@@ -107,10 +123,22 @@ struct BenchResult {
     mops_per_s: f64,
 }
 
+/// Trace-acquisition timing for one scenario: cold synthesis (first
+/// functional execution) versus warm zero-copy arena service.
+#[derive(Debug, Serialize)]
+struct SynthResult {
+    workload: String,
+    threads: usize,
+    trace_ops: u64,
+    synth_cold_s: f64,
+    synth_warm_s: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     schema: String,
     samples_per_point: u64,
+    synthesis: Vec<SynthResult>,
     results: Vec<BenchResult>,
 }
 
@@ -135,7 +163,7 @@ impl Mode {
         }
     }
 
-    fn run(self, cfg: &CoreConfig, traces: &[Trace]) -> SimResult {
+    fn run(self, cfg: &CoreConfig, traces: &[TraceView]) -> SimResult {
         match self {
             Mode::Unobserved => Core::new(cfg.clone()).run(traces.to_vec(), MAX_CYCLES),
             Mode::RtlsimDetailed => {
@@ -153,14 +181,48 @@ impl Mode {
     }
 }
 
-fn measure(s: &Scenario, scheduler: Scheduler, mode: Mode) -> BenchResult {
+/// Acquires the scenario's traces, timing the cold synthesis (first call
+/// runs the functional model) and the warm arena path (later calls slice
+/// the shared buffer). Returns the views for the simulation rows.
+fn acquire_traces(s: &Scenario) -> (Vec<TraceView>, SynthResult) {
+    let t0 = Instant::now();
+    let traces: Vec<TraceView> = s
+        .workloads
+        .iter()
+        .map(|w| w.trace_view_or_panic(MAX_TRACE_OPS))
+        .collect();
+    let cold = t0.elapsed().as_secs_f64();
+    let mut warm = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let t0 = Instant::now();
+        let again: Vec<TraceView> = s
+            .workloads
+            .iter()
+            .map(|w| w.trace_view_or_panic(MAX_TRACE_OPS))
+            .collect();
+        warm = warm.min(t0.elapsed().as_secs_f64());
+        for (a, b) in traces.iter().zip(again.iter()) {
+            assert_eq!(a, b, "arena must replay identical traces");
+        }
+    }
+    let synth = SynthResult {
+        workload: s.name.to_owned(),
+        threads: s.workloads.len(),
+        trace_ops: traces.iter().map(|t| t.len() as u64).sum(),
+        synth_cold_s: cold,
+        synth_warm_s: warm,
+    };
+    (traces, synth)
+}
+
+fn measure(s: &Scenario, traces: &[TraceView], scheduler: Scheduler, mode: Mode) -> BenchResult {
     let mut cfg = s.cfg.clone();
     cfg.scheduler = scheduler;
-    let reference = mode.run(&cfg, &s.traces); // warm-up + stats
+    let reference = mode.run(&cfg, traces); // warm-up + stats
     let mut best = f64::INFINITY;
     for _ in 0..SAMPLES {
         let t0 = Instant::now();
-        let r = mode.run(&cfg, &s.traces);
+        let r = mode.run(&cfg, traces);
         let dt = t0.elapsed().as_secs_f64();
         assert_eq!(
             r.activity.cycles, reference.activity.cycles,
@@ -174,7 +236,7 @@ fn measure(s: &Scenario, scheduler: Scheduler, mode: Mode) -> BenchResult {
         workload: s.name.to_owned(),
         scheduler: format!("{scheduler:?}"),
         mode: mode.name().to_owned(),
-        threads: s.traces.len(),
+        threads: traces.len(),
         sim_cycles: cycles,
         sim_ops: ops,
         wall_s: best,
@@ -185,6 +247,7 @@ fn measure(s: &Scenario, scheduler: Scheduler, mode: Mode) -> BenchResult {
 
 fn main() {
     let mut results = Vec::new();
+    let mut synthesis = Vec::new();
     println!(
         "{:<18} {:<12} {:<16} {:>12} {:>10} {:>12} {:>10}",
         "workload", "scheduler", "mode", "sim cycles", "wall s", "Mcycles/s", "Mops/s"
@@ -196,9 +259,15 @@ fn main() {
         );
     };
     for s in scenarios() {
+        let (traces, synth) = acquire_traces(&s);
+        println!(
+            "{:<18} synth cold {:.4}s  warm {:.6}s  ({} trace ops)",
+            s.name, synth.synth_cold_s, synth.synth_warm_s, synth.trace_ops
+        );
+        synthesis.push(synth);
         let mut per_sched = Vec::new();
         for sched in [Scheduler::Polled, Scheduler::EventDriven] {
-            let r = measure(&s, sched, Mode::Unobserved);
+            let r = measure(&s, &traces, sched, Mode::Unobserved);
             print_row(&r);
             per_sched.push(r);
         }
@@ -209,15 +278,16 @@ fn main() {
         // their rows against the unobserved EventDriven row above shows
         // the cost of observation itself.
         for mode in [Mode::RtlsimDetailed, Mode::ApexWindowed] {
-            let r = measure(&s, Scheduler::EventDriven, mode);
+            let r = measure(&s, &traces, Scheduler::EventDriven, mode);
             print_row(&r);
             results.push(r);
         }
     }
 
     let report = BenchReport {
-        schema: "p10sim-bench-pipeline/v2".to_owned(),
+        schema: "p10sim-bench-pipeline/v3".to_owned(),
         samples_per_point: SAMPLES as u64,
+        synthesis,
         results,
     };
     let out =

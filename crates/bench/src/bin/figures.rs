@@ -2,13 +2,17 @@
 //!
 //! Usage:
 //! ```text
-//! figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--trace-out FILE]
+//! figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE]
 //! ```
 //! `--out DIR` captures each experiment's stdout into `DIR/<exp>.json`
 //! as well as printing it. `--jobs N` sets the worker-pool width
 //! (default: all CPUs) and `--no-cache` disables the on-disk result
 //! cache (`target/p10sim-cache`, override with `P10SIM_CACHE_DIR`); see
-//! `p10_core::runner`. `--trace-out FILE` (or the `P10SIM_TRACE` env
+//! `p10_core::runner`. `--no-trace-arena` (or `P10SIM_TRACE_ARENA=0`)
+//! forces the legacy synthesize-per-call trace path, bypassing the
+//! process-wide content-keyed trace arena — the A/B switch for checking
+//! that arena output is byte-identical (it mirrors `--no-cache`).
+//! `--trace-out FILE` (or the `P10SIM_TRACE` env
 //! var) writes a JSON-lines event trace via `p10_obs`; either way an
 //! end-of-run summary table lands on stderr. `<experiment>` is one of:
 //! `table1 fig2 fig4 fig5 fig6 socket fig10 fig11 fig12 fig13 fig14
@@ -60,13 +64,14 @@ struct Opts {
     out: Option<std::path::PathBuf>,
     jobs: usize,
     no_cache: bool,
+    no_trace_arena: bool,
     trace_out: Option<std::path::PathBuf>,
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--trace-out FILE]"
+        "usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE]"
     );
     eprintln!("experiments: {} profile all", EXPERIMENTS.join(" "));
     std::process::exit(2);
@@ -83,6 +88,7 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         out: None,
         jobs: 0,
         no_cache: false,
+        no_trace_arena: false,
         trace_out: None,
     };
     let mut i = 0;
@@ -97,6 +103,7 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         match arg {
             "--json" => opts.json = true,
             "--no-cache" => opts.no_cache = true,
+            "--no-trace-arena" => opts.no_trace_arena = true,
             "--ops" => {
                 let v = flag_value("--ops");
                 opts.ops = v
@@ -158,6 +165,9 @@ fn write_artifact(opts: &Opts, name: &str) {
     if opts.no_cache {
         args.push("--no-cache".to_owned());
     }
+    if opts.no_trace_arena {
+        args.push("--no-trace-arena".to_owned());
+    }
     // The child is a throwaway re-run for the JSON payload: never let it
     // append to (or clobber) the parent's trace file.
     let output = std::process::Command::new(exe)
@@ -198,6 +208,10 @@ fn main() {
         .clone()
         .or_else(|| std::env::var_os("P10SIM_TRACE").map(std::path::PathBuf::from));
     p10_obs::init(&p10_obs::ObsConfig { trace_path });
+
+    if opts.no_trace_arena {
+        p10_workloads::arena::set_enabled(false);
+    }
 
     // All experiment drivers run on the shared engine: a worker pool plus
     // in-process memo and (unless --no-cache) the on-disk result cache.
@@ -272,6 +286,19 @@ fn main() {
     if live + span > 0 {
         #[allow(clippy::cast_precision_loss)]
         p10_obs::gauge("sim.span_hit_rate", span as f64 / (live + span) as f64);
+    }
+
+    // Trace-arena effectiveness: the share of trace requests served
+    // zero-copy from a cached buffer (1.0 = every request after the first
+    // synthesis of each distinct trace).
+    let arena_hits = total("trace.arena.hits");
+    let arena_misses = total("trace.arena.misses");
+    if arena_hits + arena_misses > 0 {
+        #[allow(clippy::cast_precision_loss)]
+        p10_obs::gauge(
+            "trace.arena.hit_rate",
+            arena_hits as f64 / (arena_hits + arena_misses) as f64,
+        );
     }
 
     // Flush thread-local buffers and print the run summary (phase wall

@@ -62,7 +62,7 @@ impl Fig5 {
 }
 
 fn measure(cfg: &CoreConfig, kernel: &p10_workloads::Workload, ops: u64, peak: f64) -> GemmPoint {
-    let trace = kernel.trace_or_panic(ops);
+    let trace = kernel.trace_view_or_panic(ops);
     let r: ScenarioResult = run_traces(cfg, &kernel.name, vec![trace]);
     let fpc = r.sim.activity.flops_per_cycle();
     GemmPoint {

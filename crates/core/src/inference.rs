@@ -94,7 +94,7 @@ pub fn measure_kernel(cfg: &CoreConfig, ops: u64) -> KernelRates {
     } else {
         sgemm_vsu(1 << 40)
     };
-    let trace = kernel.trace_or_panic(ops);
+    let trace = kernel.trace_view_or_panic(ops);
     let flops = trace.total_flops() as f64;
     let insts = trace.len() as f64;
     let r = run_traces(cfg, &kernel.name, vec![trace]);
@@ -171,7 +171,7 @@ pub fn run_fig6(model: &ModelGraph, kernel_ops: u64) -> Fig6Model {
 pub fn measure_kernel_int8(cfg: &CoreConfig, ops: u64) -> KernelRates {
     assert!(cfg.mma.is_some(), "INT8 GEMM requires the MMA");
     let kernel = int8gemm_mma(1 << 40);
-    let trace = kernel.trace_or_panic(ops);
+    let trace = kernel.trace_view_or_panic(ops);
     let flops = trace.total_flops() as f64;
     let insts = trace.len() as f64;
     let r = run_traces(cfg, &kernel.name, vec![trace]);
@@ -216,7 +216,7 @@ pub fn compose_int8(model: &ModelGraph, cfg: &CoreConfig, kernel_ops: u64) -> In
 pub fn measure_kernel_bf16(cfg: &CoreConfig, ops: u64) -> KernelRates {
     assert!(cfg.mma.is_some(), "BF16 GEMM requires the MMA");
     let kernel = bf16gemm_mma(1 << 40);
-    let trace = kernel.trace_or_panic(ops);
+    let trace = kernel.trace_view_or_panic(ops);
     let flops = trace.total_flops() as f64;
     let insts = trace.len() as f64;
     let r = run_traces(cfg, &kernel.name, vec![trace]);

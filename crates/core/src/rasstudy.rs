@@ -4,11 +4,17 @@
 use p10_rtlsim::{run_detailed, Roi, RtlReport, ToggleDensity};
 use p10_serminer::{derating_curve, derating_row, DeratingCurve, DeratingRow};
 use p10_uarch::CoreConfig;
-use p10_workloads::microbench::{derating_grid, generate, DataInit};
-use p10_workloads::{chopstix, specint_like};
+use p10_workloads::microbench::{derating_grid, generate, DataInit, MicrobenchSpec};
+use p10_workloads::{arena, chopstix, specint_like};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
-fn detailed(cfg: &CoreConfig, traces: Vec<p10_isa::Trace>, init: DataInit) -> RtlReport {
+fn detailed<T: Into<p10_isa::TraceView>>(
+    cfg: &CoreConfig,
+    traces: Vec<T>,
+    init: DataInit,
+) -> RtlReport {
     let toggle = match init {
         DataInit::Zero => ToggleDensity::zero_init(),
         DataInit::Random => ToggleDensity::random_init(),
@@ -20,6 +26,48 @@ fn detailed(cfg: &CoreConfig, traces: Vec<p10_isa::Trace>, init: DataInit) -> Rt
         _ => p10_uarch::SmtMode::Smt4,
     };
     run_detailed(&cfg, traces, Roi::new(500, 2_000_000), toggle)
+}
+
+/// A detailed run of one grid testcase, memoized process-wide.
+///
+/// Fig. 13 on POWER10 and the Fig. 14 POWER10 pass run the same leading
+/// grid specs at the same op budget; since [`generate`] and the detailed
+/// simulator are both deterministic, the report is fully determined by
+/// `(config, spec, ops)` and can be shared. Disabled together with the
+/// trace arena so `--no-trace-arena` exercises the legacy path.
+fn grid_detailed(cfg: &CoreConfig, spec: &MicrobenchSpec, ops: u64) -> Arc<RtlReport> {
+    let run = || {
+        let traces: Vec<p10_isa::TraceView> = (0..spec.smt)
+            .map(|t| generate(spec, 13 + u64::from(t)).trace_view_or_panic(ops))
+            .collect();
+        detailed(cfg, traces, spec.init)
+    };
+    if !arena::enabled() {
+        return Arc::new(run());
+    }
+    static MEMO: OnceLock<Mutex<HashMap<u64, Arc<RtlReport>>>> = OnceLock::new();
+    let key = {
+        use std::hash::{Hash, Hasher};
+        let mut h = p10_isa::Fnv1aHasher::new();
+        serde_json::to_string(cfg)
+            .expect("config json")
+            .hash(&mut h);
+        spec.hash(&mut h);
+        ops.hash(&mut h);
+        h.finish()
+    };
+    let mut map = MEMO
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("detailed memo poisoned");
+    if let Some(r) = map.get(&key) {
+        p10_obs::counter("trace.arena.detailed_hits", 1);
+        return Arc::clone(r);
+    }
+    p10_obs::counter("trace.arena.detailed_misses", 1);
+    let r = Arc::new(run());
+    map.insert(key, Arc::clone(&r));
+    r
 }
 
 /// The Fig. 13 dataset: derating per testcase (the Microprobe-style grid
@@ -37,10 +85,7 @@ pub fn run_fig13(cfg: &CoreConfig, ops: u64, spec_benches: usize) -> Fig13 {
     // Microprobe-style grid. The ST/SMT labels describe the original
     // testcase family; the kernels run on the configured core.
     for spec in derating_grid() {
-        let traces: Vec<p10_isa::Trace> = (0..spec.smt)
-            .map(|t| generate(&spec, 13 + u64::from(t)).trace_or_panic(ops))
-            .collect();
-        let r = detailed(cfg, traces, spec.init);
+        let r = grid_detailed(cfg, &spec, ops);
         rows.push(derating_row(&spec.name(), &r));
     }
     // SPEC proxy workloads (top hot-function proxies of a few suite
@@ -87,12 +132,9 @@ pub fn run_fig14(ops: u64, vts: &[f64]) -> Fig14 {
     for cfg in [CoreConfig::power9(), CoreConfig::power10()] {
         let mut reports = Vec::new();
         for spec in derating_grid().into_iter().take(6) {
-            let traces: Vec<p10_isa::Trace> = (0..spec.smt)
-                .map(|t| generate(&spec, 13 + u64::from(t)).trace_or_panic(ops))
-                .collect();
-            reports.push(detailed(&cfg, traces, spec.init));
+            reports.push(grid_detailed(&cfg, &spec, ops));
         }
-        let refs: Vec<&RtlReport> = reports.iter().collect();
+        let refs: Vec<&RtlReport> = reports.iter().map(Arc::as_ref).collect();
         curves.push(derating_curve(&cfg.name, &refs, vts));
     }
     let p10 = curves.pop().expect("two curves");

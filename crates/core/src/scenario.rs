@@ -1,8 +1,9 @@
 //! Joint performance + power scenario execution.
 
+use p10_isa::TraceView;
 use p10_power::{PowerModel, PowerReport};
 use p10_uarch::{Core, CoreConfig, SimResult, SmtMode};
-use p10_workloads::{Benchmark, Workload};
+use p10_workloads::{arena, Benchmark, Workload};
 use serde::{Deserialize, Serialize};
 
 /// Result of running one workload on one configuration.
@@ -48,11 +49,51 @@ impl ScenarioResult {
 /// rate-mode runs) instead of identical lock-step copies.
 #[must_use]
 pub fn run_workload(cfg: &CoreConfig, workload: &Workload, max_ops: u64) -> ScenarioResult {
-    run_traces(
-        cfg,
-        &workload.name,
-        staggered_traces(workload, cfg.smt.threads(), max_ops),
-    )
+    if arena::enabled() {
+        run_traces(
+            cfg,
+            &workload.name,
+            staggered_views(workload, cfg.smt.threads(), max_ops),
+        )
+    } else {
+        run_traces(
+            cfg,
+            &workload.name,
+            staggered_traces(workload, cfg.smt.threads(), max_ops),
+        )
+    }
+}
+
+/// Builds `threads` staggered thread streams as zero-copy views: **one**
+/// trace synthesis, then per-thread `[skip, skip + max_ops)` windows by
+/// range arithmetic on the shared buffer — no per-thread clone, no
+/// O(skip) `drain`.
+///
+/// The synthesis cap is padded to the SMT8 depth (`max_ops + 7 * 997`)
+/// regardless of `threads`, so a sweep over SMT modes at one op budget
+/// reuses a single arena buffer instead of growing it once per mode; by
+/// the prefix property the shallower views are unaffected.
+///
+/// Element-identical to [`staggered_traces`] (pinned by tests): with the
+/// full trace `F` capped at or beyond the deepest needed cap, thread
+/// `t`'s legacy trace is exactly `F[min(skip, e) .. e]` where
+/// `e = min(skip + max_ops, |F_legacy|)`, whether the program runs to its
+/// cap or halts early. (`|F_legacy|` is recovered as
+/// `min(|F|, skip + max_ops)` since `F` extends at least that far.)
+#[must_use]
+pub fn staggered_views(workload: &Workload, threads: usize, max_ops: u64) -> Vec<TraceView> {
+    if threads == 0 {
+        return Vec::new();
+    }
+    let deepest = max_ops + (threads as u64 - 1).max(7) * 997;
+    let full = workload.trace_view_or_panic(deepest);
+    (0..threads)
+        .map(|t| {
+            let skip = t * 997;
+            let end = full.len().min(skip + max_ops as usize);
+            full.slice(skip.min(end)..end)
+        })
+        .collect()
 }
 
 /// Builds `threads` equal-length traces of one workload, thread `t`
@@ -63,6 +104,9 @@ pub fn run_workload(cfg: &CoreConfig, workload: &Workload, max_ops: u64) -> Scen
 /// phase offsets rather than re-seeding: each thread replays the same
 /// program from a different point, which is how rate-mode copies actually
 /// interleave on hardware.
+///
+/// This is the legacy clone-and-drain path, kept as the `--no-trace-arena`
+/// reference; the hot path is [`staggered_views`].
 #[must_use]
 pub fn staggered_traces(workload: &Workload, threads: usize, max_ops: u64) -> Vec<p10_isa::Trace> {
     (0..threads)
@@ -89,15 +133,22 @@ pub fn run_benchmark(
         .map(|t| {
             bench
                 .workload(seed + t as u64 * 101)
-                .trace_or_panic(max_ops)
+                .trace_view_or_panic(max_ops)
         })
         .collect::<Vec<_>>();
     run_traces(cfg, &bench.name, traces)
 }
 
 /// Runs pre-built traces on the configuration and evaluates power.
+///
+/// Accepts owned [`p10_isa::Trace`]s or zero-copy [`TraceView`]s.
 #[must_use]
-pub fn run_traces(cfg: &CoreConfig, name: &str, traces: Vec<p10_isa::Trace>) -> ScenarioResult {
+pub fn run_traces<T: Into<TraceView>>(
+    cfg: &CoreConfig,
+    name: &str,
+    traces: Vec<T>,
+) -> ScenarioResult {
+    let traces: Vec<TraceView> = traces.into_iter().map(Into::into).collect();
     let total_ops: u64 = traces.iter().map(|t| t.len() as u64).sum();
     let sim = Core::new(cfg.clone()).run(traces, total_ops * 8 + 100_000);
     p10_obs::counter("sim.runs", 1);
@@ -305,6 +356,117 @@ mod tests {
         // Determinism still holds: rebuilding gives identical traces.
         let again = staggered_traces(&w, 4, 2_000);
         assert_eq!(serde_json::to_string(&again[3]).expect("json"), rendered[3]);
+    }
+
+    #[test]
+    fn staggered_views_are_zero_copy_and_element_identical() {
+        // A seed no other test uses, so this test owns the arena entry.
+        let w = specint_like()[8].workload(424_242);
+        // Views first: their padded synthesis is the deepest request, so
+        // the legacy path's shallower `trace()` calls below are served
+        // from the same buffer (the legacy path also reads through the
+        // arena when it is enabled).
+        let views = staggered_views(&w, 4, 2_000);
+        let legacy = staggered_traces(&w, 4, 2_000);
+        assert_eq!(views.len(), legacy.len());
+        for (v, t) in views.iter().zip(legacy.iter()) {
+            assert_eq!(v.ops(), &t.ops[..]);
+        }
+        // Zero-copy: every thread's view windows the same shared buffer.
+        for v in &views[1..] {
+            assert!(v.shares_storage(&views[0]));
+        }
+        // No per-thread op-buffer allocation: the four thread streams
+        // cost exactly one synthesis, and repeating the call allocates
+        // nothing new — the entry's synth count stays at one and the
+        // views still alias the original storage.
+        let key = w.content_hash();
+        let (_, _, synths) = arena::global().entry_stats(key).expect("entry exists");
+        assert_eq!(synths, 1, "4 threads x 2 calls must synthesize once");
+        let again = staggered_views(&w, 4, 2_000);
+        assert!(again[0].shares_storage(&views[0]));
+        let (_, _, synths) = arena::global().entry_stats(key).expect("entry exists");
+        assert_eq!(synths, 1);
+    }
+
+    #[test]
+    fn sweep_synthesizes_each_trace_once_per_process() {
+        // A figures-all-shaped sweep: every SMT mode of both cores over a
+        // few benchmarks at one op budget. The stagger depth is padded to
+        // the SMT8 horizon, so each workload's trace must be synthesized
+        // exactly once for the whole sweep.
+        let suite = specint_like();
+        let seed = 776_001;
+        for b in &suite[7..10] {
+            for base in [CoreConfig::power9(), CoreConfig::power10()] {
+                for smt in [SmtMode::St, SmtMode::Smt2, SmtMode::Smt4] {
+                    let mut cfg = base.clone();
+                    cfg.smt = smt;
+                    let _ = run_benchmark(&cfg, b, seed, 3_000);
+                }
+            }
+        }
+        for b in &suite[7..10] {
+            let w = b.workload(seed);
+            let (_, _, synths) = arena::global()
+                .entry_stats(w.content_hash())
+                .expect("sweep populated the arena");
+            assert_eq!(synths, 1, "{}: trace synthesized more than once", b.name);
+        }
+    }
+
+    #[test]
+    fn concurrent_runs_share_the_arena_and_stay_bit_identical() {
+        let suite = specint_like();
+        let b = &suite[8];
+        let seed = 555_123;
+        let cfg = CoreConfig::power10();
+        let sequential = run_benchmark(&cfg, b, seed, 2_000);
+        let reference = serde_json::to_string(&sequential).expect("json");
+        let results: Vec<String> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| s.spawn(|| run_benchmark(&cfg, b, seed, 2_000)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| serde_json::to_string(&h.join().expect("no panic")).expect("json"))
+                .collect()
+        });
+        for r in &results {
+            assert_eq!(*r, reference, "concurrent run diverged");
+        }
+        let w = b.workload(seed);
+        let (_, _, synths) = arena::global()
+            .entry_stats(w.content_hash())
+            .expect("entry exists");
+        assert_eq!(synths, 1, "concurrent equal-cap requests must dedup");
+    }
+
+    mod view_equivalence {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            /// For random (seed, max_ops, threads), the zero-copy view
+            /// stream is element-identical to the legacy clone+drain
+            /// path, including the early-halt edge cases.
+            #[test]
+            fn views_match_clone_drain(
+                seed in 0u64..64,
+                max_ops in 1u64..4_000,
+                threads in 1usize..5,
+            ) {
+                let w = specint_like()[8].workload(seed);
+                let legacy = staggered_traces(&w, threads, max_ops);
+                let views = staggered_views(&w, threads, max_ops);
+                prop_assert_eq!(legacy.len(), views.len());
+                for (t, v) in legacy.iter().zip(views.iter()) {
+                    prop_assert_eq!(&t.ops[..], v.ops());
+                }
+            }
+        }
     }
 
     #[test]

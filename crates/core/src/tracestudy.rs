@@ -45,10 +45,10 @@ pub fn run_trace_study(
     clusters: usize,
 ) -> TraceStudy {
     let trace = runner::timed(&format!("trace {} ops={total_ops}", workload.name), || {
-        workload.trace_or_panic(total_ops)
+        workload.trace_view_or_panic(total_ops)
     });
     let bbvs = runner::timed("tracestudy bbv intervals", || {
-        bbv_intervals(&trace, epoch_ops, 64)
+        bbv_intervals(trace.ops(), epoch_ops, 64)
     });
 
     // Timing epochs: drive the cycle model and cut windows at epoch_ops

@@ -40,7 +40,7 @@ pub fn track(cfg: &CoreConfig, suite: &[Benchmark], seed: u64, ops: u64) -> Trac
     let mut observed = 0.0;
     let mut latches = 0.0;
     for b in suite {
-        let trace = b.workload(seed).trace_or_panic(ops);
+        let trace = b.workload(seed).trace_view_or_panic(ops);
         let r = run_detailed(
             cfg,
             vec![trace],

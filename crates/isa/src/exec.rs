@@ -78,6 +78,23 @@ impl Default for Machine {
     }
 }
 
+impl std::hash::Hash for Machine {
+    /// Hashes the full architectural state (registers, accumulators,
+    /// special registers, memory image, execution count) — the machine
+    /// half of a workload's content key for trace memoization.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.gpr.hash(state);
+        self.vsr.hash(state);
+        self.acc.hash(state);
+        self.cr.hash(state);
+        self.ctr.hash(state);
+        self.lr.hash(state);
+        self.mem.hash(state);
+        self.acc_backing_live.hash(state);
+        self.executed.hash(state);
+    }
+}
+
 impl Machine {
     /// Creates a machine with zeroed registers, `lr` set to [`HALT_ADDR`],
     /// and empty memory.

@@ -1,0 +1,115 @@
+//! A stable FNV-1a 64-bit [`std::hash::Hasher`].
+//!
+//! `DefaultHasher` is randomly seeded per process, so it cannot key
+//! anything that must be reproducible across runs (content-addressed
+//! caches, trace-arena keys). FNV-1a is the workspace's standing choice
+//! for such keys (the experiment engine keys its disk cache with the
+//! byte-level equivalent); this wraps it in the `Hasher` trait so any
+//! `#[derive(Hash)]` type can feed it.
+//!
+//! Note: `Hash` impls for integers write native-endian bytes, so digests
+//! are stable per platform, which is all the in-process arena needs.
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a 64-bit hasher state.
+#[derive(Debug, Clone)]
+pub struct Fnv1aHasher(u64);
+
+impl Fnv1aHasher {
+    /// A hasher at the standard FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1aHasher(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1aHasher {
+    fn default() -> Self {
+        Fnv1aHasher::new()
+    }
+}
+
+impl Hasher for Fnv1aHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    /// Folds 8 bytes per multiply on long inputs (hashing a workload's
+    /// 4 KiB memory pages byte-at-a-time would cost as much as trace
+    /// synthesis itself); the trailing `len % 8` bytes use the byte-exact
+    /// FNV-1a step. Each step is `state = (state ^ chunk) * prime` with
+    /// an odd prime, a bijection in the chunk, so content differences
+    /// never cancel within a step.
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.0 ^= u64::from_le_bytes(c.try_into().expect("8-byte chunk"));
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        for &b in chunks.remainder() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a 64 test vectors (all sub-word, so they pin the
+        // byte-exact tail path).
+        let digest = |s: &str| {
+            let mut h = Fnv1aHasher::new();
+            h.write(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn long_inputs_discriminate_and_are_stable() {
+        let digest = |bytes: &[u8]| {
+            let mut h = Fnv1aHasher::new();
+            h.write(bytes);
+            h.finish()
+        };
+        let page = vec![0xa5u8; 4096];
+        assert_eq!(digest(&page), digest(&page));
+        let mut flipped = page.clone();
+        flipped[4095] ^= 1; // last byte of the last word
+        assert_ne!(digest(&page), digest(&flipped));
+        let mut early = page.clone();
+        early[0] ^= 0x80; // high bit of the first word
+        assert_ne!(digest(&page), digest(&early));
+        // Split writes hash like one contiguous write only when chunk
+        // boundaries align; the arena always hashes whole pages, and
+        // word-aligned splits stay consistent.
+        let mut h = Fnv1aHasher::new();
+        h.write(&page[..2048]);
+        h.write(&page[2048..]);
+        assert_eq!(h.finish(), digest(&page));
+    }
+
+    #[test]
+    fn hash_trait_integration_is_deterministic() {
+        let digest = |v: &(u64, &str)| {
+            let mut h = Fnv1aHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        let a = digest(&(42, "trace"));
+        let b = digest(&(42, "trace"));
+        assert_eq!(a, b);
+        assert_ne!(a, digest(&(43, "trace")));
+    }
+}

@@ -51,7 +51,7 @@ impl Cond {
 ///
 /// Field naming follows Power assembly conventions: `rt`/`xt`/`at` are
 /// targets, `ra`/`rb`/`xa`/`xb` are sources, `disp` is a byte displacement.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)] // variant fields follow standard Power mnemonics
 pub enum Inst {
     // ---- scalar integer ----

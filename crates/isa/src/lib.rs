@@ -55,15 +55,19 @@
 pub mod asm;
 mod dynop;
 mod exec;
+mod fnv;
 pub mod fusion;
 mod inst;
 mod mem;
 mod program;
 mod reg;
+mod view;
 
 pub use dynop::{BranchInfo, BranchKind, DynOp, MemRef, MmaKind, OpClass, Trace, MAX_SRCS};
 pub use exec::{bf16_to_f32, f32_to_bf16, ExecError, Machine, HALT_ADDR};
+pub use fnv::Fnv1aHasher;
 pub use inst::{Cond, Inst};
 pub use mem::SparseMemory;
 pub use program::{Label, Program, ProgramBuilder, ProgramError, CODE_BASE};
 pub use reg::{Acc, Reg, RegClass, ARCH_REG_COUNT};
+pub use view::TraceView;

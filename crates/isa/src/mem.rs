@@ -14,6 +14,21 @@ pub struct SparseMemory {
     pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
 }
 
+impl std::hash::Hash for SparseMemory {
+    /// Hashes the resident pages in ascending page-number order, so the
+    /// digest depends only on memory *contents*, never on `HashMap`
+    /// iteration order (which varies across processes).
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let mut page_nums: Vec<u64> = self.pages.keys().copied().collect();
+        page_nums.sort_unstable();
+        page_nums.len().hash(state);
+        for num in page_nums {
+            num.hash(state);
+            state.write(&self.pages[&num][..]);
+        }
+    }
+}
+
 impl SparseMemory {
     /// Creates an empty memory.
     #[must_use]

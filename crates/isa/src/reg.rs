@@ -202,7 +202,7 @@ impl fmt::Display for Reg {
 /// Interpretation depends on the instruction: `xvf32gerpp` views it as a
 /// 4×4 grid of `f32`, `xvf64gerpp` as a 4×2 grid of `f64`, `xvi8ger4pp` as a
 /// 4×4 grid of `i32`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub struct Acc {
     /// Four rows of two 64-bit words each (512 bits total).
     pub rows: [[u64; 2]; 4],

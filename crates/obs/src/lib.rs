@@ -656,10 +656,13 @@ mod tests {
                     for _ in 0..10 {
                         counter("test.counters_aggregate", 2);
                     }
+                    // Drain explicitly: `thread::scope` unblocks when the
+                    // closure returns, which can race the TLS destructor
+                    // that would otherwise drain this thread's buffer.
+                    flush();
                 });
             }
         });
-        // Worker threads exited, so their TLS buffers drained.
         let sum = summary();
         let c = sum
             .counters

@@ -189,8 +189,16 @@ struct LatchBookkeeper {
     warmup_snapshot: Option<Activity>,
     /// Cumulative activity through the last delivered cycle.
     prev: Activity,
-    /// Current run: (per-cycle delta, length in cycles).
-    pending: Option<(Activity, u64)>,
+    /// Total cycles per *distinct* per-cycle delta. Steady-state kernels
+    /// cycle through a handful of delta patterns, so folding once per
+    /// distinct delta (at [`flush_run`](Self::flush_run)) instead of once
+    /// per consecutive run turns the per-slice accounting from
+    /// `O(runs × slices)` into `O(distinct deltas × slices)`. A `BTreeMap`
+    /// keeps the fold order deterministic (floating-point accumulation is
+    /// order-sensitive), independent of when each delta first appeared —
+    /// which also makes the polled and event-driven schedulers agree by
+    /// construction, however differently they fragment the run stream.
+    runs: std::collections::BTreeMap<Activity, u64>,
     /// Per-group accumulators: [enabled_latch_cycles, events, latch_cycles].
     acc: Vec<[f64; 3]>,
     /// Per-slice accumulators: [enable, switching].
@@ -240,7 +248,7 @@ impl LatchBookkeeper {
             warmup,
             warmup_snapshot: None,
             prev: Activity::default(),
-            pending: None,
+            runs: std::collections::BTreeMap::new(),
             acc: vec![[0.0f64; 3]; n_groups],
             slice_acc: vec![[0.0f64; 2]; n_slices],
             bookkeeping_ops: 0,
@@ -249,49 +257,45 @@ impl LatchBookkeeper {
         }
     }
 
-    /// Extends the current run by `n` cycles of per-cycle delta `d`, or
-    /// flushes and starts a new run when the delta changes.
+    /// Credits `n` cycles of per-cycle delta `d` to the delta's tally.
     fn push_run(&mut self, d: Activity, n: u64) {
-        match &mut self.pending {
-            Some((pd, pn)) if *pd == d => *pn += n,
-            _ => {
-                self.flush_run();
-                self.pending = Some((d, n));
-            }
-        }
+        *self.runs.entry(d).or_insert(0) += n;
     }
 
-    /// Folds the pending run into the accumulators: group stats are
-    /// evaluated once on the per-cycle delta and scaled by the run length
+    /// Folds the accumulated delta tallies into the group and slice
+    /// accumulators: group stats are evaluated once per distinct
+    /// per-cycle delta and scaled by its total cycle count
     /// (toggle/clock-enable/ghost accounting in closed form).
     fn flush_run(&mut self) {
-        let Some((d, n)) = self.pending.take() else {
-            return;
-        };
-        let nf = n as f64;
-        let stats = self.model.group_stats(&d);
-        for (i, g) in stats.iter().enumerate() {
-            self.acc[i][0] += g.clock_enable * g.latches * nf;
-            self.acc[i][1] += g.events_per_cycle * nf;
-            self.acc[i][2] += g.latches * nf;
+        let runs = std::mem::take(&mut self.runs);
+        for (d, n) in runs {
+            let nf = n as f64;
+            let stats = self.model.group_stats(&d);
+            for (i, g) in stats.iter().enumerate() {
+                self.acc[i][0] += g.clock_enable * g.latches * nf;
+                self.acc[i][1] += g.events_per_cycle * nf;
+                self.acc[i][2] += g.latches * nf;
+            }
+            for (si, (gi, latches, weight)) in self.slice_layout.iter().enumerate() {
+                let g = &stats[*gi];
+                let write_rate = (g.events_per_cycle * 64.0 / g.latches.max(1.0)).min(1.0);
+                // Clock-enable distribution across slices differs by design
+                // style: the legacy design's global clock spine keeps every
+                // slice at least at the idle floor (clock gating added after
+                // the fact), while the clocks-off-by-default design gates
+                // each slice individually — cold slices sit near zero.
+                let enable = if self.idle_floor_is_flat {
+                    (self.idle_floor + (g.clock_enable - self.idle_floor).max(0.0) * weight)
+                        .min(1.0)
+                } else {
+                    (g.clock_enable * weight).min(1.0)
+                };
+                self.slice_acc[si][0] += enable * latches * nf;
+                self.slice_acc[si][1] +=
+                    (write_rate * weight).min(enable.max(1e-12)) * latches * nf;
+            }
+            self.bookkeeping_ops += (stats.len() as u64 + self.slice_layout.len() as u64) * n;
         }
-        for (si, (gi, latches, weight)) in self.slice_layout.iter().enumerate() {
-            let g = &stats[*gi];
-            let write_rate = (g.events_per_cycle * 64.0 / g.latches.max(1.0)).min(1.0);
-            // Clock-enable distribution across slices differs by design
-            // style: the legacy design's global clock spine keeps every
-            // slice at least at the idle floor (clock gating added after
-            // the fact), while the clocks-off-by-default design gates
-            // each slice individually — cold slices sit near zero.
-            let enable = if self.idle_floor_is_flat {
-                (self.idle_floor + (g.clock_enable - self.idle_floor).max(0.0) * weight).min(1.0)
-            } else {
-                (g.clock_enable * weight).min(1.0)
-            };
-            self.slice_acc[si][0] += enable * latches * nf;
-            self.slice_acc[si][1] += (write_rate * weight).min(enable.max(1e-12)) * latches * nf;
-        }
-        self.bookkeeping_ops += (stats.len() as u64 + self.slice_layout.len() as u64) * n;
     }
 }
 
@@ -346,9 +350,9 @@ impl SpanObserver for LatchBookkeeper {
 /// per-group statistics become the Powerminer report, bit-identical to
 /// per-cycle stepping.
 #[must_use]
-pub fn run_detailed(
+pub fn run_detailed<T: Into<p10_isa::TraceView>>(
     cfg: &CoreConfig,
-    traces: Vec<p10_isa::Trace>,
+    traces: Vec<T>,
     roi: Roi,
     toggle: ToggleDensity,
 ) -> RtlReport {

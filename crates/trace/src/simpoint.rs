@@ -1,7 +1,7 @@
 //! Simpoint-style representative intervals: BBVs + k-means.
 
 use crate::Selection;
-use p10_isa::Trace;
+use p10_isa::DynOp;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -10,10 +10,10 @@ use rand::{Rng, SeedableRng};
 /// bucketing instruction addresses (`n_buckets` code regions), which
 /// matches BBV behaviour for our generated code layouts.
 #[must_use]
-pub fn bbv_intervals(trace: &Trace, interval_ops: usize, n_buckets: usize) -> Vec<Vec<f64>> {
+pub fn bbv_intervals(ops: &[DynOp], interval_ops: usize, n_buckets: usize) -> Vec<Vec<f64>> {
     assert!(interval_ops > 0 && n_buckets > 0);
     let mut out = Vec::new();
-    for chunk in trace.ops.chunks(interval_ops) {
+    for chunk in ops.chunks(interval_ops) {
         if chunk.len() < interval_ops {
             break; // drop the ragged tail
         }
@@ -185,7 +185,7 @@ mod tests {
         b.bdnz(top);
         let t = Machine::new().run(&b.build(), 100_000).unwrap();
         // Interval = multiple of the 7-op loop body so intervals align.
-        let bbvs = bbv_intervals(&t, 700, 16);
+        let bbvs = bbv_intervals(&t.ops, 700, 16);
         assert!(bbvs.len() > 3);
         for v in &bbvs {
             let s: f64 = v.iter().sum();

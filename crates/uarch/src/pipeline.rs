@@ -18,7 +18,7 @@ use crate::config::{CoreConfig, Scheduler};
 use crate::stats::{Activity, CycleAttribution, SimResult};
 use crate::tlb::{Mmu, TranslateSide};
 use p10_isa::fusion::{self, FusionKind};
-use p10_isa::{DynOp, MmaKind, OpClass, Trace, ARCH_REG_COUNT, MAX_SRCS};
+use p10_isa::{DynOp, MmaKind, OpClass, TraceView, ARCH_REG_COUNT, MAX_SRCS};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -139,7 +139,7 @@ struct FetchedOp {
 
 #[derive(Debug)]
 struct ThreadState {
-    ops: Vec<DynOp>,
+    ops: TraceView,
     fetch_idx: usize,
     fetch_buffer: VecDeque<FetchedOp>,
     fetch_stall_until: u64,
@@ -156,7 +156,7 @@ struct ThreadState {
 }
 
 impl ThreadState {
-    fn new(ops: Vec<DynOp>) -> Self {
+    fn new(ops: TraceView) -> Self {
         ThreadState {
             ops,
             fetch_idx: 0,
@@ -291,12 +291,19 @@ impl Core {
     /// Runs one trace per hardware thread to completion (or `max_cycles`)
     /// and returns the results.
     ///
+    /// Accepts owned [`p10_isa::Trace`]s (moved into views, no copy) or
+    /// [`TraceView`]s (zero-copy windows into arena-shared op buffers).
+    ///
     /// # Panics
     ///
     /// Panics if more traces are supplied than the configured SMT mode
     /// supports, or if no traces are supplied.
-    pub fn run(self, traces: Vec<Trace>, max_cycles: u64) -> SimResult {
-        self.run_inner(traces, max_cycles, None)
+    pub fn run<T: Into<TraceView>>(self, traces: Vec<T>, max_cycles: u64) -> SimResult {
+        self.run_inner(
+            traces.into_iter().map(Into::into).collect(),
+            max_cycles,
+            None,
+        )
     }
 
     /// Like [`Core::run`], but invokes `observer(cycle, &activity)` after
@@ -313,14 +320,18 @@ impl Core {
     ///
     /// Panics if more traces are supplied than the configured SMT mode
     /// supports, or if no traces are supplied.
-    pub fn run_observed(
+    pub fn run_observed<T: Into<TraceView>>(
         self,
-        traces: Vec<Trace>,
+        traces: Vec<T>,
         max_cycles: u64,
         observer: impl FnMut(u64, &Activity),
     ) -> SimResult {
         let mut adapter = PerCycleObserver(observer);
-        self.run_inner(traces, max_cycles, Some(&mut adapter))
+        self.run_inner(
+            traces.into_iter().map(Into::into).collect(),
+            max_cycles,
+            Some(&mut adapter),
+        )
     }
 
     /// Like [`Core::run`], but delivers the simulation to a span-aware
@@ -333,18 +344,22 @@ impl Core {
     ///
     /// Panics if more traces are supplied than the configured SMT mode
     /// supports, or if no traces are supplied.
-    pub fn run_spanned(
+    pub fn run_spanned<T: Into<TraceView>>(
         self,
-        traces: Vec<Trace>,
+        traces: Vec<T>,
         max_cycles: u64,
         observer: &mut dyn SpanObserver,
     ) -> SimResult {
-        self.run_inner(traces, max_cycles, Some(observer))
+        self.run_inner(
+            traces.into_iter().map(Into::into).collect(),
+            max_cycles,
+            Some(observer),
+        )
     }
 
     fn run_inner(
         mut self,
-        traces: Vec<Trace>,
+        traces: Vec<TraceView>,
         max_cycles: u64,
         mut observer: Observer<'_>,
     ) -> SimResult {
@@ -355,10 +370,7 @@ impl Core {
             traces.len(),
             self.cfg.smt.threads()
         );
-        self.threads = traces
-            .into_iter()
-            .map(|t| ThreadState::new(t.ops))
-            .collect();
+        self.threads = traces.into_iter().map(ThreadState::new).collect();
 
         let event_driven = self.event_driven();
         while self.cycle < max_cycles && !self.threads.iter().all(ThreadState::fully_done) {
@@ -1706,7 +1718,7 @@ struct DispatchPlan {
 mod tests {
     use super::*;
     use crate::config::SmtMode;
-    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg, Trace};
 
     /// An L1-contained counted loop of `iters` iterations with `body_alus`
     /// independent adds per iteration.
@@ -2042,7 +2054,7 @@ mod tests {
 #[cfg(test)]
 mod gating_tests {
     use super::*;
-    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg, Trace};
 
     fn mma_burst_program(prelude_alus: u16, hint: bool) -> Trace {
         let mut b = ProgramBuilder::new();
@@ -2122,7 +2134,7 @@ mod gating_tests {
 mod smt_policy_tests {
     use super::*;
     use crate::config::{FetchPolicy, SmtMode};
-    use p10_isa::{Machine, ProgramBuilder, Reg};
+    use p10_isa::{Machine, ProgramBuilder, Reg, Trace};
 
     fn compute_trace(ops: u64) -> Trace {
         let mut b = ProgramBuilder::new();
@@ -2183,7 +2195,7 @@ mod smt_policy_tests {
 mod corner_tests {
     use super::*;
     use crate::config::SmtMode;
-    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg, Trace};
 
     #[test]
     fn divides_serialize_on_the_unpipelined_unit() {
@@ -2348,7 +2360,7 @@ mod corner_tests {
 #[cfg(test)]
 mod attribution_tests {
     use super::*;
-    use p10_isa::{Inst, Machine, ProgramBuilder, Reg};
+    use p10_isa::{Inst, Machine, ProgramBuilder, Reg, Trace};
 
     fn alu_trace(iters: i64) -> Trace {
         let mut b = ProgramBuilder::new();

@@ -11,7 +11,14 @@ use serde::{Deserialize, Serialize};
 macro_rules! activity_struct {
     ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
         /// Per-unit activity counters accumulated during simulation.
-        #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+        ///
+        /// The ordering (derived, lexicographic in declaration order) has
+        /// no physical meaning; it exists so deltas can key deterministic
+        /// ordered maps (the detailed simulator folds its latch
+        /// bookkeeping per *distinct* per-cycle delta).
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
         pub struct Activity {
             $($(#[$doc])* pub $field: u64,)+
         }

@@ -191,10 +191,15 @@ fn direct_target(program: &Program, inst: Inst) -> Option<usize> {
 /// Runs extraction over a list of workloads and reports the coverage
 /// table (the paper's §III-A numbers).
 #[must_use]
-pub fn coverage_table(workloads: &[Workload], trace_ops: u64, top_n: usize) -> Vec<CoverageRow> {
+pub fn coverage_table(
+    workloads: &[impl std::borrow::Borrow<Workload>],
+    trace_ops: u64,
+    top_n: usize,
+) -> Vec<CoverageRow> {
     workloads
         .iter()
         .map(|w| {
+            let w = w.borrow();
             let set = extract(w, trace_ops, top_n);
             CoverageRow {
                 workload: w.name.clone(),
@@ -210,7 +215,7 @@ mod tests {
     use super::*;
     use crate::suite::specint_like;
 
-    fn workload(name: &str) -> Workload {
+    fn workload(name: &str) -> std::sync::Arc<Workload> {
         specint_like()
             .into_iter()
             .find(|b| b.name == name)
@@ -269,7 +274,7 @@ mod tests {
 
     #[test]
     fn coverage_table_has_one_row_per_workload() {
-        let ws: Vec<Workload> = ["xzish", "exchangeish"]
+        let ws: Vec<std::sync::Arc<Workload>> = ["xzish", "exchangeish"]
             .iter()
             .map(|n| workload(n))
             .collect();

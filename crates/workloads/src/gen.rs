@@ -58,6 +58,28 @@ pub struct Signature {
     pub code_padding: u32,
 }
 
+impl std::hash::Hash for Signature {
+    /// Hashes every knob (floats by bit pattern) — with the generator
+    /// seed, this identifies the exact workload a signature synthesizes,
+    /// keying the process-wide workload memo.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.handlers.hash(state);
+        self.zipf_alpha.to_bits().hash(state);
+        self.branch_entropy.to_bits().hash(state);
+        self.footprint_kb.hash(state);
+        self.chase_loads.hash(state);
+        self.stride_loads.hash(state);
+        self.stores.hash(state);
+        self.int_chain.hash(state);
+        self.int_parallel.hash(state);
+        self.muls.hash(state);
+        self.vsx_fmas.hash(state);
+        self.branches.hash(state);
+        self.calls.hash(state);
+        self.code_padding.hash(state);
+    }
+}
+
 impl Default for Signature {
     fn default() -> Self {
         Signature {
@@ -138,12 +160,7 @@ impl WorkloadBuilder {
         for (addr, label) in self.fixups {
             machine.mem.write_u64(addr, program.resolve_addr(label));
         }
-        Workload {
-            name: name.to_owned(),
-            program,
-            machine,
-            functions: self.functions,
-        }
+        Workload::new(name.to_owned(), program, machine, self.functions)
     }
 }
 

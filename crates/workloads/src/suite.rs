@@ -10,6 +10,8 @@
 use crate::gen::{synthesize, Signature};
 use crate::workload::Workload;
 use serde::{Deserialize, Serialize};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Workload groups the paper reports on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -43,9 +45,21 @@ pub struct Benchmark {
 
 impl Benchmark {
     /// Instantiates the benchmark as a runnable workload.
+    ///
+    /// Synthesis is deterministic in `(name, signature, seed)`, so the
+    /// result is shared through the process-wide workload memo (see
+    /// [`crate::arena::memoized_workload`]): a config sweep constructs
+    /// each workload once, and every job reuses the same `Arc` — along
+    /// with its cached content fingerprint and arena-resident traces.
     #[must_use]
-    pub fn workload(&self, seed: u64) -> Workload {
-        synthesize(&self.name, &self.signature, seed, 1 << 40)
+    pub fn workload(&self, seed: u64) -> Arc<Workload> {
+        let mut h = p10_isa::Fnv1aHasher::new();
+        self.name.hash(&mut h);
+        self.signature.hash(&mut h);
+        seed.hash(&mut h);
+        crate::arena::memoized_workload(h.finish(), || {
+            synthesize(&self.name, &self.signature, seed, 1 << 40)
+        })
     }
 }
 
