@@ -14,11 +14,15 @@
 //! zero-copy from the process-wide trace arena), and the per-row `wall s`
 //! column is pure simulation time over pre-acquired `TraceView`s.
 //!
+//! Sampled execution gets its own section: each of the PR 7 workloads
+//! runs exact, SimPoint-sampled, and learned-fast-forward, reporting
+//! wall-clock speedup next to the measured CPI error and the bound the
+//! sampled run printed for itself.
+//!
 //! Besides the human-readable table on stdout, the bench writes
 //! `BENCH_pipeline.json` (override the path with `P10SIM_BENCH_OUT`) so
 //! the simulator's performance trajectory is tracked across PRs — schema
-//! `p10sim-bench-pipeline/v3` (v2 plus the per-scenario `synthesis`
-//! section).
+//! `p10sim-bench-pipeline/v4` (v3 plus the `sampling` section).
 //!
 //! Run with `cargo bench -p p10-bench --bench sim_throughput`.
 
@@ -134,12 +138,32 @@ struct SynthResult {
     synth_warm_s: f64,
 }
 
+/// Sampled-execution throughput and accuracy for one workload × mode.
+#[derive(Debug, Serialize)]
+struct SamplingRow {
+    workload: String,
+    /// `exact` | `simpoints:I:K:W` | `learned:I:K:F`.
+    mode: String,
+    /// Ops simulated in detail (total ops for `exact`, representative +
+    /// cold-prefix intervals for the sampled modes).
+    sim_ops: u64,
+    wall_s: f64,
+    /// Effective throughput: *claimed* ops (the whole trace) over wall —
+    /// this is the number the fast-forward actually buys.
+    mops_per_s: f64,
+    speedup_vs_exact: f64,
+    cpi_rel_err: f64,
+    cpi_bound_rel: f64,
+    within_bound: bool,
+}
+
 #[derive(Debug, Serialize)]
 struct BenchReport {
     schema: String,
     samples_per_point: u64,
     synthesis: Vec<SynthResult>,
     results: Vec<BenchResult>,
+    sampling: Vec<SamplingRow>,
 }
 
 /// One observation mode: how the simulation is driven and what consumes
@@ -245,6 +269,92 @@ fn measure(s: &Scenario, traces: &[TraceView], scheduler: Scheduler, mode: Mode)
     }
 }
 
+/// Op budget for the sampled-execution section: large enough that the
+/// SimPoint fast-forward dominates the fixed functional-warming pass,
+/// small enough to keep the bench quick.
+const SAMPLING_OPS: u64 = 200_000;
+
+/// Runs the PR 7 workload slice (leela / exchange / xz analogues) exact,
+/// SimPoint-sampled, and learned, reporting best-of-[`SAMPLES`] walls,
+/// the measured CPI error against exact, and the bound each sampled run
+/// printed for itself.
+fn sampling_rows() -> Vec<SamplingRow> {
+    use p10_core::sampling::{self, SamplingMode};
+    use p10_core::scenario;
+
+    let cfg = CoreConfig::power10();
+    let suite = p10_workloads::specint_like();
+    let interval_ops = usize::try_from(SAMPLING_OPS / 64)
+        .unwrap_or(usize::MAX)
+        .max(2500);
+    let modes = [
+        SamplingMode::SimPoints {
+            interval_ops,
+            k: 8,
+            warmup_ops: interval_ops / 8,
+        },
+        SamplingMode::Learned {
+            interval_ops,
+            k: 8,
+            max_features: 4,
+        },
+    ];
+    let mut rows = Vec::new();
+    for bench in &suite[7..10] {
+        let exact = scenario::run_benchmark(&cfg, bench, 42, SAMPLING_OPS);
+        let total_ops = exact.sim.activity.completed;
+        let mut exact_wall = f64::INFINITY;
+        for _ in 0..SAMPLES {
+            let t0 = Instant::now();
+            let r = scenario::run_benchmark(&cfg, bench, 42, SAMPLING_OPS);
+            exact_wall = exact_wall.min(t0.elapsed().as_secs_f64());
+            assert_eq!(
+                r.sim.activity.cycles, exact.sim.activity.cycles,
+                "non-deterministic simulation"
+            );
+        }
+        rows.push(SamplingRow {
+            workload: bench.name.clone(),
+            mode: "exact".to_owned(),
+            sim_ops: total_ops,
+            wall_s: exact_wall,
+            mops_per_s: total_ops as f64 / exact_wall / 1e6,
+            speedup_vs_exact: 1.0,
+            cpi_rel_err: 0.0,
+            cpi_bound_rel: 0.0,
+            within_bound: true,
+        });
+        for mode in &modes {
+            let s = sampling::run_benchmark_sampled(&cfg, bench, 42, SAMPLING_OPS, mode);
+            let mut wall = f64::INFINITY;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                let again = sampling::run_benchmark_sampled(&cfg, bench, 42, SAMPLING_OPS, mode);
+                wall = wall.min(t0.elapsed().as_secs_f64());
+                assert_eq!(
+                    again.stats.cpi_est.to_bits(),
+                    s.stats.cpi_est.to_bits(),
+                    "non-deterministic sampled simulation"
+                );
+            }
+            let cpi_err =
+                (s.stats.cpi_est - exact.sim.cpi()).abs() / exact.sim.cpi().abs().max(1e-12);
+            rows.push(SamplingRow {
+                workload: bench.name.clone(),
+                mode: mode.describe(),
+                sim_ops: s.stats.simulated_ops,
+                wall_s: wall,
+                mops_per_s: s.stats.total_ops as f64 / wall / 1e6,
+                speedup_vs_exact: exact_wall / wall,
+                cpi_rel_err: cpi_err,
+                cpi_bound_rel: s.stats.cpi_bound_rel,
+                within_bound: cpi_err <= s.stats.cpi_bound_rel,
+            });
+        }
+    }
+    rows
+}
+
 fn main() {
     let mut results = Vec::new();
     let mut synthesis = Vec::new();
@@ -284,11 +394,34 @@ fn main() {
         }
     }
 
+    println!();
+    println!("sampled execution ({SAMPLING_OPS} ops/workload, best of {SAMPLES})");
+    println!(
+        "{:<16} {:<22} {:>11} {:>9} {:>9} {:>8} {:>9} {:>8}",
+        "workload", "mode", "detail ops", "wall s", "Mops/s", "speedup", "cpi err", "bound"
+    );
+    let sampling = sampling_rows();
+    for r in &sampling {
+        println!(
+            "{:<16} {:<22} {:>11} {:>9.4} {:>9.2} {:>7.1}x {:>8.1}% {:>7.1}% {}",
+            r.workload,
+            r.mode,
+            r.sim_ops,
+            r.wall_s,
+            r.mops_per_s,
+            r.speedup_vs_exact,
+            r.cpi_rel_err * 100.0,
+            r.cpi_bound_rel * 100.0,
+            if r.within_bound { "OK" } else { "VIOLATED" }
+        );
+    }
+
     let report = BenchReport {
-        schema: "p10sim-bench-pipeline/v3".to_owned(),
+        schema: "p10sim-bench-pipeline/v4".to_owned(),
         samples_per_point: SAMPLES as u64,
         synthesis,
         results,
+        sampling,
     };
     let out =
         std::env::var("P10SIM_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".to_owned());

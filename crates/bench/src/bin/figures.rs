@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE]
+//! figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE] [--sampling MODE]
 //! ```
 //! `--out DIR` captures each experiment's stdout into `DIR/<exp>.json`
 //! as well as printing it. `--jobs N` sets the worker-pool width
@@ -12,20 +12,27 @@
 //! forces the legacy synthesize-per-call trace path, bypassing the
 //! process-wide content-keyed trace arena — the A/B switch for checking
 //! that arena output is byte-identical (it mirrors `--no-cache`).
+//! `--sampling MODE` (or `P10SIM_SAMPLING`) selects sampled execution
+//! for every simulation point routed through the engine: `exact`
+//! (default, byte-identical reference), `simpoints:INTERVAL:K[:WARMUP]`,
+//! or `learned:INTERVAL:K[:FEATURES]` — see `p10_core::sampling`.
 //! `--trace-out FILE` (or the `P10SIM_TRACE` env
 //! var) writes a JSON-lines event trace via `p10_obs`; either way an
 //! end-of-run summary table lands on stderr. `<experiment>` is one of:
 //! `table1 fig2 fig4 fig5 fig6 socket fig10 fig11 fig12 fig13 fig14
 //! fig15a fig15b flushes coverage apex-speedup wof tracepoints
-//! sensitivity smt tracking droop profile all` — `profile` (the
-//! cycle-attribution tables) runs on demand only and is not part of
-//! `all`, which keeps `all`'s stdout stable across additions.
+//! sensitivity smt tracking droop profile sampling all` — `profile`
+//! (the cycle-attribution tables) and `sampling` (the exact-vs-sampled
+//! error/speedup study, whose wall-clock numbers vary run to run) run on
+//! demand only and are not part of `all`, which keeps `all`'s stdout
+//! stable across additions.
 
 use p10_bench::{suite, FULL_OPS};
 use p10_core::powerstudies::{
     build_dataset, build_datasets, run_fig11, run_fig12, run_fig15a, run_fig15b, Target,
 };
 use p10_core::runner;
+use p10_core::sampling::{self, SamplingMode};
 use p10_core::{ablation, flush, gemm, inference, rasstudy, scenario, socket, table1, tracestudy};
 use p10_kernels::models::{bert_large, resnet50};
 use p10_powermgmt::wof;
@@ -66,14 +73,21 @@ struct Opts {
     no_cache: bool,
     no_trace_arena: bool,
     trace_out: Option<std::path::PathBuf>,
+    sampling: Option<SamplingMode>,
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE]"
+        "usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE] [--sampling MODE]"
     );
-    eprintln!("experiments: {} profile all", EXPERIMENTS.join(" "));
+    eprintln!(
+        "sampling modes: exact | simpoints:INTERVAL:K[:WARMUP] | learned:INTERVAL:K[:FEATURES]"
+    );
+    eprintln!(
+        "experiments: {} profile sampling all",
+        EXPERIMENTS.join(" ")
+    );
     std::process::exit(2);
 }
 
@@ -90,6 +104,7 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         no_cache: false,
         no_trace_arena: false,
         trace_out: None,
+        sampling: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -126,12 +141,20 @@ fn parse_args(args: &[String]) -> (String, Opts) {
             "--trace-out" => {
                 opts.trace_out = Some(std::path::PathBuf::from(flag_value("--trace-out")));
             }
+            "--sampling" => {
+                let v = flag_value("--sampling");
+                opts.sampling = Some(SamplingMode::parse(&v).unwrap_or_else(|e| usage_error(&e)));
+            }
             flag if flag.starts_with('-') => usage_error(&format!("unknown flag '{flag}'")),
             exp => {
                 if what.is_some() {
                     usage_error(&format!("more than one experiment given ('{exp}')"));
                 }
-                if exp != "all" && exp != "profile" && !EXPERIMENTS.contains(&exp) {
+                if exp != "all"
+                    && exp != "profile"
+                    && exp != "sampling"
+                    && !EXPERIMENTS.contains(&exp)
+                {
                     usage_error(&format!("unknown experiment '{exp}'"));
                 }
                 what = Some(exp.to_owned());
@@ -167,6 +190,10 @@ fn write_artifact(opts: &Opts, name: &str) {
     }
     if opts.no_trace_arena {
         args.push("--no-trace-arena".to_owned());
+    }
+    if let Some(mode) = &opts.sampling {
+        args.push("--sampling".to_owned());
+        args.push(mode.describe());
     }
     // The child is a throwaway re-run for the JSON payload: never let it
     // append to (or clobber) the parent's trace file.
@@ -211,6 +238,21 @@ fn main() {
 
     if opts.no_trace_arena {
         p10_workloads::arena::set_enabled(false);
+    }
+
+    // Sampling mode: --sampling wins, then P10SIM_SAMPLING, then exact.
+    // Installed once before any experiment runs; the engine's benchmark
+    // dispatch consults it for every simulation point.
+    let sampling_mode = opts.sampling.or_else(|| {
+        std::env::var("P10SIM_SAMPLING")
+            .ok()
+            .map(|v| SamplingMode::parse(&v).unwrap_or_else(|e| usage_error(&e)))
+    });
+    if let Some(mode) = sampling_mode {
+        sampling::set_mode(mode);
+        if !mode.is_exact() {
+            eprintln!("[figures] sampled execution: {}", mode.describe());
+        }
     }
 
     // All experiment drivers run on the shared engine: a worker pool plus
@@ -262,6 +304,7 @@ fn main() {
             "tracking" => do_tracking(&opts),
             "droop" => do_droop(&opts),
             "profile" => do_profile(&opts),
+            "sampling" => do_sampling(&opts),
             // parse_args validated the experiment name already.
             other => unreachable!("unvalidated experiment '{other}'"),
         }
@@ -298,6 +341,19 @@ fn main() {
         p10_obs::gauge(
             "trace.arena.hit_rate",
             arena_hits as f64 / (arena_hits + arena_misses) as f64,
+        );
+    }
+
+    // Sampled-execution coverage: the fraction of trace ops whose timing
+    // was simulated directly rather than reconstituted from a cluster
+    // representative (1.0 = exact execution).
+    let sampled = total("sim.sample.simulated_ops");
+    let skipped = total("sim.sample.skipped_ops");
+    if sampled + skipped > 0 {
+        #[allow(clippy::cast_precision_loss)]
+        p10_obs::gauge(
+            "sim.sample.coverage",
+            sampled as f64 / (sampled + skipped) as f64,
         );
     }
 
@@ -1011,6 +1067,117 @@ fn do_droop(o: &Opts) {
         free.max_droop * 100.0,
         protected.max_droop * 100.0,
         protected.engagements
+    );
+}
+
+/// The default study mode when the CLI didn't ask for a specific one:
+/// ~64 intervals across the op budget with a 1/8-interval warmup. The
+/// interval floor keeps per-interval measurement above the granularity
+/// where boundary residue dominates; small budgets therefore degrade
+/// gracefully toward exact (fewer intervals, most of them simulated).
+fn default_sampling_mode(ops: u64) -> SamplingMode {
+    let interval_ops = usize::try_from(ops / 64).unwrap_or(usize::MAX).max(2500);
+    SamplingMode::SimPoints {
+        interval_ops,
+        k: 8,
+        warmup_ops: interval_ops / 8,
+    }
+}
+
+fn do_sampling(o: &Opts) {
+    header(
+        "Sampled simulation — exact vs SimPoint-weighted execution",
+        "representative-interval sampling with statistical error bounds",
+    );
+    // The study always runs both sides itself (uncached, so wall times
+    // are honest): exact as ground truth, sampled in the CLI's mode (or
+    // a budget-scaled default when the CLI mode is exact/absent).
+    let mode = o
+        .sampling
+        .filter(|m| !m.is_exact())
+        .unwrap_or_else(|| default_sampling_mode(o.ops));
+    let cfg = CoreConfig::power10();
+    let suite = suite();
+    let benches = &suite[7..10];
+    println!("mode: {}  ops/workload: {}", mode.describe(), o.ops);
+    let mut rows = Vec::new();
+    let mut all_ok = true;
+    let mut speedup_sum = 0.0;
+    for b in benches {
+        let t0 = std::time::Instant::now();
+        let exact = scenario::run_benchmark(&cfg, b, 42, o.ops);
+        let exact_s = t0.elapsed().as_secs_f64();
+        let t1 = std::time::Instant::now();
+        let s = sampling::run_benchmark_sampled(&cfg, b, 42, o.ops, &mode);
+        let sampled_s = t1.elapsed().as_secs_f64();
+        sampling::record_obs(&s.stats);
+
+        let cpi_err = (s.stats.cpi_est - exact.sim.cpi()).abs() / exact.sim.cpi().max(1e-12);
+        let power_err =
+            (s.stats.power_est - exact.core_power()).abs() / exact.core_power().max(1e-12);
+        let within = cpi_err <= s.stats.cpi_bound_rel && power_err <= s.stats.power_bound_rel;
+        let speedup = exact_s / sampled_s.max(1e-9);
+        all_ok &= within;
+        speedup_sum += speedup;
+        rows.push(json!({
+            "workload": b.name,
+            "mode": s.stats.mode,
+            "exact_cpi": exact.sim.cpi(),
+            "sampled_cpi": s.stats.cpi_est,
+            "cpi_rel_err": cpi_err,
+            "cpi_bound_rel": s.stats.cpi_bound_rel,
+            "exact_core_power": exact.core_power(),
+            "sampled_core_power": s.stats.power_est,
+            "power_rel_err": power_err,
+            "power_bound_rel": s.stats.power_bound_rel,
+            "simulated_ops": s.stats.simulated_ops,
+            "skipped_ops": s.stats.skipped_ops,
+            "intervals": s.stats.intervals,
+            "clusters": s.stats.clusters,
+            "exact_s": exact_s,
+            "sampled_s": sampled_s,
+            "speedup": speedup,
+            "within_bound": within,
+        }));
+        if !o.json {
+            println!(
+                "{:<16} CPI {:>6.3} -> {:>6.3} (err {:>4.1}% <= bound {:>4.1}%)  \
+                 power {:>6.1} -> {:>6.1} W (err {:>4.1}% <= bound {:>4.1}%)  {}",
+                b.name,
+                exact.sim.cpi(),
+                s.stats.cpi_est,
+                cpi_err * 100.0,
+                s.stats.cpi_bound_rel * 100.0,
+                exact.core_power(),
+                s.stats.power_est,
+                power_err * 100.0,
+                s.stats.power_bound_rel * 100.0,
+                if within { "OK" } else { "VIOLATED" }
+            );
+            println!(
+                "{:<16} simulated {}/{} ops over {} intervals ({} clusters)  \
+                 wall {:.2}s -> {:.2}s  speedup {:.1}x",
+                "",
+                s.stats.simulated_ops,
+                s.stats.total_ops,
+                s.stats.intervals,
+                s.stats.clusters,
+                exact_s,
+                sampled_s,
+                speedup
+            );
+        }
+    }
+    if o.json {
+        println!("{}", serde_json::to_string_pretty(&rows).expect("json"));
+        return;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let mean_speedup = speedup_sum / rows.len() as f64;
+    println!(
+        "error bound check: {}  mean speedup {:.1}x",
+        if all_ok { "OK" } else { "VIOLATED" },
+        mean_speedup
     );
 }
 

@@ -6,6 +6,12 @@
 //! RTLSim observer required). For each configuration it runs the suite
 //! through the cached engine — sharing simulation points with Table I and
 //! the figure drivers — and reports where every cycle went.
+//!
+//! Under a sampled execution mode (`--sampling`, [`crate::sampling`])
+//! the engine hands back *reconstituted* attributions — ops-weighted
+//! sums of per-interval terms — but the partition invariant these rows
+//! rely on survives sampling: buckets still sum exactly to the
+//! (estimated) total cycles, so every `share` column still adds to 100%.
 
 use crate::scenario::run_suite;
 use p10_uarch::{CoreConfig, CycleAttribution};

@@ -15,6 +15,8 @@
 //! * [`flush`] — the wasted-instruction (flush-reduction) study.
 //! * [`runner`] — the parallel experiment engine and result cache every
 //!   driver runs on.
+//! * [`sampling`] — SimPoint-weighted sampled execution with error
+//!   bounds and a learned fast-forward (opt-in via `--sampling`).
 //! * [`cycleprof`] — the `figures profile` experiment: per-workload
 //!   cycle-attribution tables from the pipeline's always-on counters.
 //!
@@ -46,6 +48,7 @@ pub mod inference;
 pub mod powerstudies;
 pub mod rasstudy;
 pub mod runner;
+pub mod sampling;
 pub mod scenario;
 pub mod sensitivity;
 pub mod smtscale;

@@ -233,6 +233,13 @@ impl Engine {
 
     /// One (config, benchmark, seed, ops) simulation point through the
     /// cache.
+    ///
+    /// This is the single dispatch point for sampled execution: when a
+    /// non-exact [`crate::sampling`] mode is active (installed once by
+    /// the `figures` CLI), the point is simulated sampled and cached as a
+    /// [`crate::sampling::SampledScenario`] under a key extended with the
+    /// mode text — sampled and exact results never collide, and the
+    /// sampling `[obs]` counters are recorded even on cache hits.
     #[must_use]
     pub fn run_benchmark(
         &self,
@@ -247,6 +254,19 @@ impl Engine {
             cfg.name,
             cfg.smt.threads()
         );
+        if let Some(mode) = crate::sampling::active() {
+            let key = format!(
+                "{}|{}",
+                point_key(cfg, bench, seed, max_ops),
+                mode.describe()
+            );
+            let sampled: crate::sampling::SampledScenario =
+                self.cached(&format!("{label} [{}]", mode.describe()), &key, || {
+                    crate::sampling::run_benchmark_sampled(cfg, bench, seed, max_ops, &mode)
+                });
+            crate::sampling::record_obs(&sampled.stats);
+            return sampled.result;
+        }
         self.cached(&label, &point_key(cfg, bench, seed, max_ops), || {
             run_benchmark(cfg, bench, seed, max_ops)
         })

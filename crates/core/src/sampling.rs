@@ -1,0 +1,1139 @@
+//! Sampled simulation: SimPoint-weighted execution with error bounds and
+//! a learned fast-forward.
+//!
+//! Exact simulation replays every dynamic op through the cycle model. For
+//! long traces most of that work is redundant — program phases repeat —
+//! so this module partitions each thread's [`TraceView`] into fixed-size
+//! intervals (free range arithmetic on the shared trace arena), clusters
+//! the intervals' basic-block vectors with deterministic k-means
+//! ([`p10_trace::simpoint`]), simulates only one representative interval
+//! per cluster, and reconstitutes whole-trace activity, cycle
+//! attribution, and power as cluster-weight sums.
+//!
+//! Four mechanisms keep the representative measurements honest:
+//!
+//! * **Functional warming** ([`p10_uarch::FunctionalWarmer`]): every op
+//!   — simulated or skipped — is replayed timing-free through the
+//!   caches, TLBs, and branch predictor, and each detailed run starts
+//!   from the [`WarmState`] snapshot at its interval boundary
+//!   ([`Core::with_state`]); cache state warms over far more ops than
+//!   any affordable detailed warmup prefix could cover.
+//! * A short **detailed warmup prefix** per representative, delta'd out
+//!   checkpoint-free (pipeline-local transients the functional warmer
+//!   cannot see).
+//! * **Cold-prefix detailing**: the leading intervals are measured
+//!   outright until consecutive CPIs agree within [`COLD_TOL_REL`] —
+//!   the cold-start transient executes steady-state code and so has no
+//!   BBV signature.
+//! * **Miss-augmented BBVs**: each interval's functionally-warmed
+//!   L1D/L2/L3 per-op miss rates (× [`MISS_FEATURE_WEIGHT`]) extend its
+//!   BBV, so transient and steady intervals of the same code cluster
+//!   apart.
+//!
+//! Every sampled estimate carries a **statistical error bound**: the
+//! spread of each cluster (BBV distance of members to their
+//! representative, zero for members measured directly) is converted to
+//! a CPI/power deviation through the observed sensitivity between
+//! representatives, combined across clusters as independent terms,
+//! floored by a fixed model-error allowance, plus a boundary-residue
+//! term [`BOUNDARY_RESIDUE_CYCLES`]` / (interval_ops · CPI)` for the
+//! per-measurement granularity error. Differential tests assert the
+//! measured error against exact simulation stays inside the printed
+//! bound.
+//!
+//! [`SamplingMode::Learned`] goes one step further (in the spirit of
+//! learned fast-forwarding): the simulated representatives become a
+//! training set for linear counter→CPI and counter→power predictors
+//! (Gram-cached forward selection from `p10-powermodel`), skipped
+//! intervals are *predicted* from cheap functional-trace features instead
+//! of inheriting their representative's numbers verbatim, and the
+//! reported bound incorporates the leave-one-out cross-validated error.
+//!
+//! Exact mode remains the byte-identical reference: the engine only
+//! routes through this module when a non-exact mode is active, so
+//! `figures all` output without `--sampling` is unchanged.
+
+use crate::scenario::{self, ScenarioResult};
+use p10_isa::{OpClass, TraceView};
+use p10_power::PowerModel;
+use p10_powermodel::{forward_select_loo, Dataset, FitOptions};
+use p10_trace::simpoint::{simpoints_weighted, WeightedSimpoints};
+use p10_uarch::{
+    Activity, Core, CoreConfig, CycleAttribution, FunctionalWarmer, SimResult, WarmState,
+};
+use p10_workloads::{Benchmark, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// BBV code-region buckets (matches the tracestudy granularity).
+const BBV_BUCKETS: usize = 64;
+/// Clustering seed: fixed so sampled points are content-addressable.
+const KMEANS_SEED: u64 = 11;
+/// Two-sided ~95% normal quantile for the cluster-spread bound term.
+const Z_95: f64 = 1.96;
+/// Fixed relative-error allowance added to every bound: covers warmup
+/// residue, reconstitution rounding, and sensitivity-model error that the
+/// cluster-spread term cannot see. Calibrated against the differential
+/// grid in `tests/sampling_diff.rs`.
+const BOUND_FLOOR_REL: f64 = 0.08;
+/// Safety factor on the learned mode's cross-validated error term.
+const CV_SAFETY: f64 = 1.5;
+/// Weight on the functional miss-rate features appended to each BBV:
+/// chosen so a cold-vs-warm miss-rate gap (tenths of a miss per op)
+/// separates intervals about as strongly as a real code-phase change.
+const MISS_FEATURE_WEIGHT: f64 = 4.0;
+/// Cold-start escape: the leading intervals are simulated in detail until
+/// two consecutive measurements agree within this relative CPI change —
+/// the cold-start transient (caches filling for the first time) has no
+/// BBV signature, so clustering alone cannot see it.
+const COLD_TOL_REL: f64 = 0.25;
+/// Residual cycles a per-interval measurement can be off by regardless of
+/// interval content: the gap between functionally-warmed and true
+/// detailed state at the interval boundary (prefetch timing, in-flight
+/// misses). Measured empirically against exact prefix differences; enters
+/// the bound as `RESIDUE / (interval_ops · CPI)`, so short low-CPI
+/// intervals honestly report large uncertainty while long intervals
+/// (where the residue amortizes) stay tight.
+const BOUNDARY_RESIDUE_CYCLES: f64 = 200.0;
+
+/// How the engine should execute simulation points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SamplingMode {
+    /// Simulate every op — the byte-identical reference path.
+    Exact,
+    /// Simulate one representative interval per BBV cluster and
+    /// reconstitute whole-trace results as cluster-weight sums.
+    SimPoints {
+        /// Ops per interval (per thread).
+        interval_ops: usize,
+        /// Maximum clusters (k-means k).
+        k: usize,
+        /// Architectural warmup ops simulated before each representative
+        /// and delta'd out of its counters (0 = cold).
+        warmup_ops: usize,
+    },
+    /// SimPoints plus a learned fast-forward: linear predictors fitted on
+    /// the simulated representatives estimate each *skipped* interval's
+    /// CPI and power from functional-trace features.
+    Learned {
+        /// Ops per interval (per thread).
+        interval_ops: usize,
+        /// Maximum clusters (training-set size).
+        k: usize,
+        /// Maximum features forward selection may use.
+        max_features: usize,
+    },
+}
+
+impl SamplingMode {
+    /// Parses a `--sampling` argument:
+    /// `exact` | `simpoints:INTERVAL:K[:WARMUP]` | `learned:INTERVAL:K[:FEATURES]`.
+    /// Warmup defaults to `INTERVAL / 8`, features to 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message naming the accepted grammar when the text
+    /// does not parse or a field is zero.
+    pub fn parse(text: &str) -> Result<SamplingMode, String> {
+        let err = || {
+            format!(
+                "bad sampling mode '{text}': expected exact | \
+                 simpoints:INTERVAL:K[:WARMUP] | learned:INTERVAL:K[:FEATURES]"
+            )
+        };
+        let mut parts = text.split(':');
+        let head = parts.next().ok_or_else(err)?;
+        let fields: Vec<&str> = parts.collect();
+        let num = |s: &str| s.parse::<usize>().ok().filter(|&v| v > 0);
+        match (head, fields.len()) {
+            ("exact", 0) => Ok(SamplingMode::Exact),
+            ("simpoints", 2 | 3) => {
+                let interval_ops = num(fields[0]).ok_or_else(err)?;
+                let k = num(fields[1]).ok_or_else(err)?;
+                let warmup_ops = match fields.get(2) {
+                    // Warmup 0 is a legitimate request (cold intervals).
+                    Some(s) => s.parse::<usize>().map_err(|_| err())?,
+                    None => interval_ops / 8,
+                };
+                Ok(SamplingMode::SimPoints {
+                    interval_ops,
+                    k,
+                    warmup_ops,
+                })
+            }
+            ("learned", 2 | 3) => Ok(SamplingMode::Learned {
+                interval_ops: num(fields[0]).ok_or_else(err)?,
+                k: num(fields[1]).ok_or_else(err)?,
+                max_features: match fields.get(2) {
+                    Some(s) => num(s).ok_or_else(err)?,
+                    None => 4,
+                },
+            }),
+            _ => Err(err()),
+        }
+    }
+
+    /// Canonical text form; round-trips through [`SamplingMode::parse`]
+    /// and keys the result cache (a different mode is a different point).
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match *self {
+            SamplingMode::Exact => "exact".to_owned(),
+            SamplingMode::SimPoints {
+                interval_ops,
+                k,
+                warmup_ops,
+            } => format!("simpoints:{interval_ops}:{k}:{warmup_ops}"),
+            SamplingMode::Learned {
+                interval_ops,
+                k,
+                max_features,
+            } => format!("learned:{interval_ops}:{k}:{max_features}"),
+        }
+    }
+
+    /// Whether this mode is the exact reference path.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        *self == SamplingMode::Exact
+    }
+}
+
+static MODE: OnceLock<SamplingMode> = OnceLock::new();
+
+/// Installs the process-wide sampling mode (first caller wins; the
+/// `figures` CLI calls this once before any experiment runs). Returns
+/// `false` if a mode was already installed.
+pub fn set_mode(mode: SamplingMode) -> bool {
+    MODE.set(mode).is_ok()
+}
+
+/// The process-wide mode if a *non-exact* one is installed. The engine
+/// consults this at its single dispatch point; tests and the `sampling`
+/// experiment pass modes explicitly instead, so the global stays a pure
+/// CLI concern.
+#[must_use]
+pub fn active() -> Option<SamplingMode> {
+    MODE.get().copied().filter(|m| !m.is_exact())
+}
+
+/// What sampled execution measured and how much it claims to be worth.
+///
+/// All fields are plain numbers (no `Option`) so the struct serializes
+/// stably into the on-disk result cache.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SamplingStats {
+    /// The mode text ([`SamplingMode::describe`]).
+    pub mode: String,
+    /// Intervals the trace was partitioned into.
+    pub intervals: u64,
+    /// Clusters actually formed (≤ k).
+    pub clusters: u64,
+    /// Dynamic ops across all threads.
+    pub total_ops: u64,
+    /// Ops whose timing was measured directly (representative intervals).
+    pub simulated_ops: u64,
+    /// Ops covered only by reconstitution (`total_ops - simulated_ops`).
+    pub skipped_ops: u64,
+    /// Extra warmup ops fed to the simulator (delta'd out of results).
+    pub warmup_ops: u64,
+    /// Estimated whole-trace cycles per instruction.
+    pub cpi_est: f64,
+    /// Estimated whole-trace core power (W, per-cycle intensive).
+    pub power_est: f64,
+    /// Relative error bound claimed for `cpi_est` (fraction).
+    pub cpi_bound_rel: f64,
+    /// Relative error bound claimed for `power_est` (fraction).
+    pub power_bound_rel: f64,
+    /// Learned mode: leave-one-out CV error of the CPI predictor (%).
+    pub cv_cpi_error_pct: f64,
+    /// Learned mode: leave-one-out CV error of the power predictor (%).
+    pub cv_power_error_pct: f64,
+    /// Learned mode: intervals filled in by prediction rather than by
+    /// their representative's numbers.
+    pub predicted_intervals: u64,
+}
+
+/// A scenario result produced by sampled execution, with its statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampledScenario {
+    /// The reconstituted whole-trace result (same shape as exact).
+    pub result: ScenarioResult,
+    /// What was simulated, skipped, and claimed.
+    pub stats: SamplingStats,
+}
+
+/// Records the `[obs]` counters/gauge for one sampled point. The engine
+/// calls this on cache hits too, so a warm run's summary still reports
+/// what the cached points covered.
+pub fn record_obs(stats: &SamplingStats) {
+    p10_obs::counter("sim.sample.intervals", stats.intervals);
+    p10_obs::counter("sim.sample.clusters", stats.clusters);
+    p10_obs::counter("sim.sample.simulated_ops", stats.simulated_ops);
+    p10_obs::counter("sim.sample.skipped_ops", stats.skipped_ops);
+    if stats.total_ops > 0 {
+        #[allow(clippy::cast_precision_loss)]
+        p10_obs::gauge(
+            "sim.sample.coverage",
+            stats.simulated_ops as f64 / stats.total_ops as f64,
+        );
+    }
+}
+
+/// One interval of the partitioned run: per-thread zero-copy slices plus
+/// the combined BBV.
+struct Interval {
+    /// Per-thread `[i*I, (i+1)*I)` windows (threads clipped individually;
+    /// some may be empty near a short thread's end).
+    slices: Vec<TraceView>,
+    /// Ops across all thread slices.
+    ops: u64,
+    /// Normalized basic-block vector over all thread slices, augmented
+    /// with weighted functional-warming miss rates (see [`partition`]).
+    bbv: Vec<f64>,
+    /// Per-op functional L1D/L2/L3 miss rates at this interval's position
+    /// in the trace (from the clustering pre-pass).
+    warm_miss: [f64; 3],
+}
+
+/// Partitions per-thread views into op-index-aligned intervals and
+/// computes each interval's combined BBV.
+///
+/// The BBV is augmented with three microarchitectural features: the
+/// interval's per-op L1D/L2/L3 miss rates measured by a functional
+/// warming pre-pass over the whole trace. A cold-start transient (caches
+/// filling for the first time) executes the *same code* as steady state
+/// — identical on a pure code-signature BBV — but misses at a very
+/// different rate, so these features let k-means give the transient its
+/// own cluster, a representative that is measured equally cold, and a
+/// visible contribution to the error bound.
+fn partition(cfg: &CoreConfig, views: &[TraceView], interval_ops: usize) -> Vec<Interval> {
+    let max_len = views.iter().map(TraceView::len).max().unwrap_or(0);
+    let n = max_len.div_ceil(interval_ops);
+    let mut warmer = FunctionalWarmer::new(cfg);
+    let mut prev = Activity::default();
+    (0..n)
+        .map(|i| {
+            let slices: Vec<TraceView> =
+                views.iter().map(|v| v.interval(interval_ops, i)).collect();
+            let ops: u64 = slices.iter().map(|s| s.len() as u64).sum();
+            let mut bbv = vec![0.0f64; BBV_BUCKETS];
+            for s in &slices {
+                for op in s.ops() {
+                    bbv[((op.pc >> 4) as usize) % BBV_BUCKETS] += 1.0;
+                }
+            }
+            let norm: f64 = bbv.iter().sum();
+            if norm > 0.0 {
+                for x in &mut bbv {
+                    *x /= norm;
+                }
+            }
+            warmer.observe(&slices);
+            let cur = *warmer.activity();
+            let d = cur.delta(&prev);
+            prev = cur;
+            #[allow(clippy::cast_precision_loss)]
+            let per_op = |misses: u64| misses as f64 / ops.max(1) as f64;
+            let warm_miss = [
+                per_op(d.l1d_misses),
+                per_op(d.l2_misses),
+                per_op(d.l3_misses),
+            ];
+            for m in warm_miss {
+                bbv.push(m * MISS_FEATURE_WEIGHT);
+            }
+            // Every window below `n` holds ops from the longest thread,
+            // so interval index == window index (no filtering needed).
+            Interval {
+                slices,
+                ops,
+                bbv,
+                warm_miss,
+            }
+        })
+        .collect()
+}
+
+fn bbv_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// One simulated representative interval with warmup delta'd out.
+#[derive(Clone)]
+struct RepMeasurement {
+    /// Interval index in the partition.
+    interval: usize,
+    /// Counters attributable to the representative interval alone.
+    activity: Activity,
+    /// Cycle attribution of the same window (sums to `activity.cycles`).
+    attribution: CycleAttribution,
+    /// CPI of the representative.
+    cpi: f64,
+    /// Core power (W) of the representative window.
+    power: f64,
+    /// Warmup ops that were simulated and subtracted back out.
+    warmup_ops: u64,
+}
+
+/// Simulates interval `idx` of the partition on `cfg`, starting from the
+/// functionally-warmed `state` (caches, TLBs, predictor as of the
+/// interval's position in the trace), with `warmup_ops` of detailed
+/// pipeline warmup per thread, checkpoint-free: the window
+/// `[start - warmup, end)` is simulated once, the warmup prefix
+/// `[start - warmup, start)` once more, and the prefix's counters are
+/// subtracted (saturating). The detailed prefix fills short-lived state
+/// (window occupancy, miss queues, store drain) that functional warming
+/// cannot; its ops are already inside `state`, and replaying them is
+/// harmless because cache/predictor training is idempotent for a repeat.
+fn simulate_interval(
+    cfg: &CoreConfig,
+    views: &[TraceView],
+    interval_ops: usize,
+    idx: usize,
+    warmup_ops: usize,
+    state: &WarmState,
+) -> RepMeasurement {
+    let run = |slices: Vec<TraceView>| -> SimResult {
+        let ops: u64 = slices.iter().map(|s| s.len() as u64).sum();
+        Core::with_state(cfg.clone(), state.clone()).run(slices, ops * 8 + 100_000)
+    };
+    let mut full = Vec::new();
+    let mut warm = Vec::new();
+    for v in views {
+        let start = v.len().min(idx.saturating_mul(interval_ops));
+        let end = v.len().min(start + interval_ops);
+        let wstart = start.saturating_sub(warmup_ops);
+        full.push(v.slice(wstart..end));
+        warm.push(v.slice(wstart..start));
+    }
+    let warmup: u64 = warm.iter().map(|s| s.len() as u64).sum();
+    let full = run(full.into_iter().filter(|s| !s.is_empty()).collect());
+    let (activity, attribution) = if warmup == 0 {
+        (full.activity, full.attribution)
+    } else {
+        let pre = run(warm.into_iter().filter(|s| !s.is_empty()).collect());
+        let activity = full.activity.delta(&pre.activity);
+        (
+            activity,
+            attribution_delta(&full.attribution, &pre.attribution, activity.cycles),
+        )
+    };
+    let power = PowerModel::for_config(cfg).evaluate(&activity).core_total();
+    RepMeasurement {
+        interval: idx,
+        cpi: activity.cpi(),
+        power,
+        activity,
+        attribution,
+        warmup_ops: warmup,
+    }
+}
+
+/// Per-bucket saturating difference of two attributions, re-balanced so
+/// the result still partitions exactly `cycles` (the invariant
+/// `CycleAttribution::total() == Activity::cycles` that `cycleprof`
+/// asserts). Rounding slack lands in `idle`; if the non-idle buckets
+/// overshoot, the overshoot is shaved off the largest buckets.
+fn attribution_delta(
+    full: &CycleAttribution,
+    pre: &CycleAttribution,
+    cycles: u64,
+) -> CycleAttribution {
+    rebalance(
+        CycleAttribution {
+            active: full.active.saturating_sub(pre.active),
+            mma_gated: full.mma_gated.saturating_sub(pre.mma_gated),
+            issue_limited: full.issue_limited.saturating_sub(pre.issue_limited),
+            memory_bound: full.memory_bound.saturating_sub(pre.memory_bound),
+            dispatch_stalled: full.dispatch_stalled.saturating_sub(pre.dispatch_stalled),
+            fetch_stalled: full.fetch_stalled.saturating_sub(pre.fetch_stalled),
+            idle: 0,
+        },
+        cycles,
+    )
+}
+
+/// Sets `idle` so the buckets sum to exactly `cycles`; shaves any
+/// non-idle overshoot off the largest buckets first.
+fn rebalance(mut a: CycleAttribution, cycles: u64) -> CycleAttribution {
+    a.idle = 0;
+    let mut excess = a.total().saturating_sub(cycles);
+    while excess > 0 {
+        let buckets = [
+            &mut a.active,
+            &mut a.mma_gated,
+            &mut a.issue_limited,
+            &mut a.memory_bound,
+            &mut a.dispatch_stalled,
+            &mut a.fetch_stalled,
+        ];
+        let largest = buckets
+            .into_iter()
+            .max_by_key(|b| **b)
+            .expect("six buckets");
+        let cut = (*largest).min(excess);
+        if cut == 0 {
+            break;
+        }
+        *largest -= cut;
+        excess -= cut;
+    }
+    a.idle = cycles.saturating_sub(a.total());
+    a
+}
+
+/// The cluster-spread error bound for one metric (CPI or power).
+///
+/// Sensitivity `λ` is the steepest observed metric-per-BBV-distance slope
+/// between representative pairs (regularized so identical BBVs with
+/// different metrics don't explode it); each cluster contributes a
+/// deviation `σ_c = λ · rms(BBV distance of members to representative)`,
+/// weighted by the cluster's share and combined as independent terms at
+/// ~95% confidence. A fixed floor covers the error modes cluster spread
+/// cannot see.
+#[allow(clippy::too_many_arguments)]
+fn spread_bound_rel(
+    metric_of: impl Fn(&RepMeasurement) -> f64,
+    estimate: f64,
+    reps: &[RepMeasurement],
+    sp: &WeightedSimpoints,
+    ivs: &[Interval],
+    measured: &[Option<RepMeasurement>],
+    total_ops: u64,
+) -> f64 {
+    let mut lambda = 0.0f64;
+    for (i, a) in reps.iter().enumerate() {
+        for b in reps.iter().skip(i + 1) {
+            let d = bbv_dist(&ivs[a.interval].bbv, &ivs[b.interval].bbv).max(1e-3);
+            lambda = lambda.max((metric_of(a) - metric_of(b)).abs() / d);
+        }
+    }
+    let mut var = 0.0f64;
+    for (rep, members) in reps.iter().zip(sp.members.iter()) {
+        let cluster_ops: f64 = members.iter().map(|&i| ivs[i].ops as f64).sum();
+        if cluster_ops <= 0.0 {
+            continue;
+        }
+        // Members with their own detailed measurement (the cold prefix
+        // and the representative itself) contribute zero deviation.
+        let ms: f64 = members
+            .iter()
+            .map(|&i| {
+                if measured[i].is_some() {
+                    return 0.0;
+                }
+                let d = bbv_dist(&ivs[i].bbv, &ivs[rep.interval].bbv);
+                ivs[i].ops as f64 * d * d
+            })
+            .sum::<f64>()
+            / cluster_ops;
+        let sigma = lambda * ms.sqrt();
+        let share = cluster_ops / total_ops as f64;
+        var += (share * sigma) * (share * sigma);
+    }
+    Z_95 * var.sqrt() / estimate.abs().max(1e-12) + BOUND_FLOOR_REL
+}
+
+/// Names of the functional-trace features the learned mode predicts from.
+fn feature_names() -> Vec<String> {
+    [
+        "load_frac",
+        "store_frac",
+        "branch_frac",
+        "mul_div_frac",
+        "vsx_frac",
+        "mma_frac",
+        "flops_per_op",
+        "uniq_lines_per_op",
+        "uniq_pages_per_op",
+        "prefixed_frac",
+        "warm_l1d_miss_rate",
+        "warm_l2_miss_rate",
+        "warm_l3_miss_rate",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect()
+}
+
+/// Fast-forward features of one interval — computable without the cycle
+/// model (static trace mix plus the functional-warming miss rates),
+/// which is the whole point of the learned fast-forward.
+fn interval_features(iv: &Interval) -> Vec<f64> {
+    let n = iv.ops.max(1) as f64;
+    let mut counts = [0u64; 6]; // load store branch muldiv vsx mma
+    let mut flops = 0u64;
+    let mut prefixed = 0u64;
+    let mut lines: HashSet<u64> = HashSet::new();
+    let mut pages: HashSet<u64> = HashSet::new();
+    for s in &iv.slices {
+        for op in s.ops() {
+            match op.class {
+                OpClass::Load => counts[0] += 1,
+                OpClass::Store => counts[1] += 1,
+                OpClass::Branch => counts[2] += 1,
+                OpClass::IntMul | OpClass::IntDiv => counts[3] += 1,
+                OpClass::VsxSimple | OpClass::VsxFp => counts[4] += 1,
+                OpClass::Mma(_) | OpClass::MmaMove => counts[5] += 1,
+                _ => {}
+            }
+            flops += u64::from(op.flops);
+            prefixed += u64::from(op.prefixed);
+            if let Some(m) = op.mem {
+                lines.insert(m.addr >> 7);
+                pages.insert(m.addr >> 12);
+            }
+        }
+    }
+    let mut row: Vec<f64> = counts.iter().map(|&c| c as f64 / n).collect();
+    row.push(flops as f64 / n);
+    row.push(lines.len() as f64 / n);
+    row.push(pages.len() as f64 / n);
+    row.push(prefixed as f64 / n);
+    row.extend(iv.warm_miss);
+    row
+}
+
+/// Reconstitutes a whole-trace [`ScenarioResult`] from per-interval CPI /
+/// power assignments plus the representatives' counter shapes.
+///
+/// `cpi_of(i)` / `power_of(i)` give interval `i`'s assigned values (its
+/// own detailed measurement when it has one, possibly a prediction in
+/// learned mode, otherwise its representative's measurement). Counters
+/// other than `cycles`/`completed` are scaled per interval from its
+/// measurement source — predictions only move the headline cycles/power,
+/// the counter *mix* always comes from simulation.
+#[allow(clippy::too_many_arguments)]
+fn reconstitute(
+    cfg: &CoreConfig,
+    name: &str,
+    views: &[TraceView],
+    ivs: &[Interval],
+    measured: &[Option<RepMeasurement>],
+    cluster_of: &[usize],
+    reps: &[RepMeasurement],
+    cpi_of: &dyn Fn(usize) -> f64,
+    power_of: &dyn Fn(usize) -> f64,
+) -> (ScenarioResult, f64, f64) {
+    let total_ops: u64 = ivs.iter().map(|iv| iv.ops).sum();
+    // Whole-trace cycles: per-interval op counts times assigned CPI.
+    let cycles_est: f64 = ivs
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| iv.ops as f64 * cpi_of(i))
+        .sum();
+    let cpi_est = cycles_est / total_ops.max(1) as f64;
+    // Power is per-cycle intensive: cycle-weighted mean of assignments.
+    let power_est: f64 = ivs
+        .iter()
+        .enumerate()
+        .map(|(i, iv)| iv.ops as f64 * cpi_of(i) * power_of(i))
+        .sum::<f64>()
+        / cycles_est.max(1e-12);
+
+    // Counter mix per interval: its own measurement when detailed,
+    // otherwise its cluster's representative, scaled to the interval's
+    // op share.
+    let mut terms: Vec<(f64, Activity)> = Vec::new();
+    let mut attr_terms: Vec<(f64, CycleAttribution)> = Vec::new();
+    for (i, iv) in ivs.iter().enumerate() {
+        let m = measured[i].as_ref().unwrap_or(&reps[cluster_of[i]]);
+        let scale = iv.ops as f64 / m.activity.completed.max(1) as f64;
+        terms.push((scale, m.activity));
+        attr_terms.push((scale, m.attribution));
+    }
+    let mut activity = Activity::weighted_sum(&terms);
+    // Pin the invariants exact mode guarantees: completed equals the op
+    // budget, and cycles match the (possibly predicted) estimate.
+    activity.completed = total_ops;
+    activity.cycles = cycles_est.round().max(1.0) as u64;
+    let attribution = rebalance(attribution_weighted_sum(&attr_terms), activity.cycles);
+
+    let power = PowerModel::for_config(cfg).evaluate(&activity);
+    let result = ScenarioResult {
+        workload: name.to_owned(),
+        config: cfg.name.clone(),
+        sim: SimResult {
+            config_name: cfg.name.clone(),
+            threads: views.len(),
+            activity,
+            per_thread_completed: views.iter().map(|v| v.len() as u64).collect(),
+            attribution,
+        },
+        power,
+    };
+    (result, cpi_est, power_est)
+}
+
+/// Element-wise weighted sum of attribution buckets (rounded).
+fn attribution_weighted_sum(terms: &[(f64, CycleAttribution)]) -> CycleAttribution {
+    let f = |get: fn(&CycleAttribution) -> u64| -> u64 {
+        terms
+            .iter()
+            .map(|(w, a)| w * get(a) as f64)
+            .sum::<f64>()
+            .round()
+            .max(0.0) as u64
+    };
+    CycleAttribution {
+        active: f(|a| a.active),
+        mma_gated: f(|a| a.mma_gated),
+        issue_limited: f(|a| a.issue_limited),
+        memory_bound: f(|a| a.memory_bound),
+        dispatch_stalled: f(|a| a.dispatch_stalled),
+        fetch_stalled: f(|a| a.fetch_stalled),
+        idle: f(|a| a.idle),
+    }
+}
+
+/// Runs pre-built per-thread views in the given sampling mode.
+///
+/// Exact mode delegates to [`scenario::run_traces`] (bit-identical to the
+/// reference path) with trivial stats; sampled modes partition, cluster,
+/// simulate representatives, and reconstitute.
+///
+/// # Panics
+///
+/// Panics if `views` contains no ops (nothing to sample).
+#[must_use]
+pub fn run_traces_sampled(
+    cfg: &CoreConfig,
+    name: &str,
+    views: Vec<TraceView>,
+    mode: &SamplingMode,
+) -> SampledScenario {
+    let total_ops: u64 = views.iter().map(|v| v.len() as u64).sum();
+    assert!(total_ops > 0, "sampled run of an empty trace");
+    match *mode {
+        SamplingMode::Exact => {
+            let result = scenario::run_traces(cfg, name, views);
+            let stats = SamplingStats {
+                mode: "exact".to_owned(),
+                intervals: 0,
+                clusters: 0,
+                total_ops,
+                simulated_ops: total_ops,
+                skipped_ops: 0,
+                warmup_ops: 0,
+                cpi_est: result.sim.cpi(),
+                power_est: result.core_power(),
+                cpi_bound_rel: 0.0,
+                power_bound_rel: 0.0,
+                cv_cpi_error_pct: 0.0,
+                cv_power_error_pct: 0.0,
+                predicted_intervals: 0,
+            };
+            SampledScenario { result, stats }
+        }
+        SamplingMode::SimPoints {
+            interval_ops,
+            k,
+            warmup_ops,
+        } => run_simpoints(cfg, name, &views, interval_ops, k, warmup_ops, None),
+        SamplingMode::Learned {
+            interval_ops,
+            k,
+            max_features,
+        } => run_simpoints(
+            cfg,
+            name,
+            &views,
+            interval_ops,
+            k,
+            interval_ops / 8,
+            Some(max_features),
+        ),
+    }
+}
+
+/// The shared SimPoints machinery; `learned_features = Some(F)` layers
+/// the learned fast-forward on top.
+fn run_simpoints(
+    cfg: &CoreConfig,
+    name: &str,
+    views: &[TraceView],
+    interval_ops: usize,
+    k: usize,
+    warmup_ops: usize,
+    learned_features: Option<usize>,
+) -> SampledScenario {
+    let ivs = partition(cfg, views, interval_ops);
+    let total_ops: u64 = ivs.iter().map(|iv| iv.ops).sum();
+    let bbvs: Vec<Vec<f64>> = ivs.iter().map(|iv| iv.bbv.clone()).collect();
+    let weights: Vec<f64> = ivs.iter().map(|iv| iv.ops as f64).collect();
+    let sp = simpoints_weighted(&bbvs, &weights, k, KMEANS_SEED);
+
+    // Measure the representatives on a single forward pass over the
+    // trace: every interval is replayed through the functional warmer
+    // (timing-free cache/TLB/predictor updates), and when the pass
+    // reaches a representative, the detailed simulation starts from a
+    // snapshot of that warmed state. Long-warming state — a pointer
+    // chase over a cache-sized footprint, a slowly-training predictor —
+    // is therefore as warm as it would be in the exact run, which no
+    // affordable detailed warmup prefix could achieve. (Serial: the
+    // engine already parallelizes across experiment points.)
+    let rep_set: HashSet<usize> = sp.selection.picks.iter().map(|&(rep, _)| rep).collect();
+    let mut warmer = FunctionalWarmer::new(cfg);
+    let mut measured: Vec<Option<RepMeasurement>> = (0..ivs.len()).map(|_| None).collect();
+    // The cold-start transient — caches and predictor filling for the
+    // very first time — has no BBV signature, so a warm representative
+    // cannot stand in for the leading intervals. Detail them until two
+    // consecutive measurements agree (capped at a quarter of the trace).
+    let cold_cap = (ivs.len() / 4).max(1);
+    let mut prev_cold_cpi: Option<f64> = None;
+    let mut cold_done = false;
+    for (idx, iv) in ivs.iter().enumerate() {
+        let want_cold = !cold_done && idx < cold_cap;
+        if want_cold || rep_set.contains(&idx) {
+            measured[idx] = Some(simulate_interval(
+                cfg,
+                views,
+                interval_ops,
+                idx,
+                warmup_ops,
+                warmer.state(),
+            ));
+        }
+        if want_cold {
+            let cpi = measured[idx].as_ref().expect("just measured").cpi;
+            if let Some(prev) = prev_cold_cpi {
+                if (cpi - prev).abs() / cpi.max(1e-9) < COLD_TOL_REL {
+                    cold_done = true;
+                }
+            }
+            prev_cold_cpi = Some(cpi);
+        }
+        warmer.observe(&iv.slices);
+    }
+    let reps: Vec<RepMeasurement> = sp
+        .selection
+        .picks
+        .iter()
+        .map(|&(rep, _)| measured[rep].clone().expect("representative was measured"))
+        .collect();
+    let simulated_ops: u64 = measured
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.is_some())
+        .map(|(i, _)| ivs[i].ops)
+        .sum();
+    let warmup_total: u64 = measured.iter().flatten().map(|r| r.warmup_ops).sum();
+
+    // Interval -> cluster assignment for per-interval value lookup.
+    let mut cluster_of = vec![0usize; ivs.len()];
+    for (ci, members) in sp.members.iter().enumerate() {
+        for &m in members {
+            cluster_of[m] = ci;
+        }
+    }
+
+    // Learned fast-forward: fit counter->CPI and counter->power models on
+    // the simulated representatives, predict the skipped intervals.
+    let mut cv_cpi = 0.0;
+    let mut cv_power = 0.0;
+    let mut predicted: Vec<Option<(f64, f64)>> = vec![None; ivs.len()];
+    if let Some(max_features) = learned_features {
+        // Every detailed measurement — representatives and cold-prefix
+        // intervals alike — is a training row.
+        let mut cpi_data = Dataset::new(feature_names());
+        let mut power_data = Dataset::new(feature_names());
+        for r in measured.iter().flatten() {
+            let row = interval_features(&ivs[r.interval]);
+            cpi_data.push(row.clone(), r.cpi);
+            power_data.push(row, r.power);
+        }
+        let opts = FitOptions::default();
+        let models = forward_select_loo(&cpi_data, max_features, opts).zip(forward_select_loo(
+            &power_data,
+            max_features,
+            opts,
+        ));
+        if let Some((cpi_cv, power_cv)) = models {
+            cv_cpi = cpi_cv.cv_error_pct;
+            cv_power = power_cv.cv_error_pct;
+            for (i, iv) in ivs.iter().enumerate() {
+                if measured[i].is_none() {
+                    let row = interval_features(iv);
+                    // Predictions are clamped to the observed training
+                    // range: extrapolating a linear model past its
+                    // training hull is how learned fast-forwards go wrong.
+                    let clamp = |v: f64, lo: f64, hi: f64| v.max(lo).min(hi);
+                    let (cpi_lo, cpi_hi) = min_max(measured.iter().flatten().map(|r| r.cpi));
+                    let (p_lo, p_hi) = min_max(measured.iter().flatten().map(|r| r.power));
+                    predicted[i] = Some((
+                        clamp(cpi_cv.model.predict(&row), cpi_lo, cpi_hi),
+                        clamp(power_cv.model.predict(&row), p_lo, p_hi),
+                    ));
+                }
+            }
+        }
+    }
+    let predicted_intervals = predicted.iter().filter(|p| p.is_some()).count() as u64;
+
+    // Per-interval resolution: an interval's own detailed measurement
+    // wins; otherwise a learned prediction; otherwise its cluster's
+    // representative.
+    let cpi_of = |i: usize| {
+        measured[i].as_ref().map_or_else(
+            || predicted[i].map_or_else(|| reps[cluster_of[i]].cpi, |(cpi, _)| cpi),
+            |m| m.cpi,
+        )
+    };
+    let power_of = |i: usize| {
+        measured[i].as_ref().map_or_else(
+            || predicted[i].map_or_else(|| reps[cluster_of[i]].power, |(_, p)| p),
+            |m| m.power,
+        )
+    };
+    let (result, cpi_est, power_est) = reconstitute(
+        cfg,
+        name,
+        views,
+        &ivs,
+        &measured,
+        &cluster_of,
+        &reps,
+        &cpi_of,
+        &power_of,
+    );
+
+    // Boundary residue: per-interval measurement can be off by a
+    // roughly constant number of cycles (functional-vs-detailed state
+    // gap at the window edges), which is relatively large only when
+    // intervals are short and CPI is low.
+    #[allow(clippy::cast_precision_loss)]
+    let boundary_rel = BOUNDARY_RESIDUE_CYCLES / (interval_ops as f64 * cpi_est.max(1e-3));
+    let mut cpi_bound =
+        boundary_rel + spread_bound_rel(|r| r.cpi, cpi_est, &reps, &sp, &ivs, &measured, total_ops);
+    let mut power_bound = boundary_rel
+        + spread_bound_rel(
+            |r| r.power,
+            power_est,
+            &reps,
+            &sp,
+            &ivs,
+            &measured,
+            total_ops,
+        );
+    if learned_features.is_some() {
+        // The learned estimate inherits whichever is worse: cluster
+        // spread or the predictor's cross-validated error (with safety).
+        cpi_bound = cpi_bound.max(cv_cpi / 100.0 * CV_SAFETY + BOUND_FLOOR_REL);
+        power_bound = power_bound.max(cv_power / 100.0 * CV_SAFETY + BOUND_FLOOR_REL);
+    }
+
+    let mode = if let Some(f) = learned_features {
+        format!("learned:{interval_ops}:{k}:{f}")
+    } else {
+        format!("simpoints:{interval_ops}:{k}:{warmup_ops}")
+    };
+    SampledScenario {
+        result,
+        stats: SamplingStats {
+            mode,
+            intervals: ivs.len() as u64,
+            clusters: sp.selection.len() as u64,
+            total_ops,
+            simulated_ops,
+            skipped_ops: total_ops - simulated_ops,
+            warmup_ops: warmup_total,
+            cpi_est,
+            power_est,
+            cpi_bound_rel: cpi_bound,
+            power_bound_rel: power_bound,
+            cv_cpi_error_pct: cv_cpi,
+            cv_power_error_pct: cv_power,
+            predicted_intervals,
+        },
+    }
+}
+
+fn min_max(vals: impl Iterator<Item = f64>) -> (f64, f64) {
+    vals.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+        (lo.min(v), hi.max(v))
+    })
+}
+
+/// [`run_traces_sampled`] over a benchmark's per-thread-seeded views —
+/// the sampled twin of [`scenario::run_benchmark`].
+#[must_use]
+pub fn run_benchmark_sampled(
+    cfg: &CoreConfig,
+    bench: &Benchmark,
+    seed: u64,
+    max_ops: u64,
+    mode: &SamplingMode,
+) -> SampledScenario {
+    run_traces_sampled(
+        cfg,
+        &bench.name,
+        scenario::benchmark_views(cfg, bench, seed, max_ops),
+        mode,
+    )
+}
+
+/// [`run_traces_sampled`] over a single workload's staggered SMT views —
+/// the sampled twin of [`scenario::run_workload`].
+#[must_use]
+pub fn run_workload_sampled(
+    cfg: &CoreConfig,
+    workload: &Workload,
+    max_ops: u64,
+    mode: &SamplingMode,
+) -> SampledScenario {
+    run_traces_sampled(
+        cfg,
+        &workload.name,
+        scenario::staggered_views(workload, cfg.smt.threads(), max_ops),
+        mode,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p10_workloads::specint_like;
+
+    fn simpoints_mode() -> SamplingMode {
+        SamplingMode::SimPoints {
+            interval_ops: 1_000,
+            k: 4,
+            warmup_ops: 125,
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        for text in ["exact", "simpoints:1000:8:125", "learned:1000:8:4"] {
+            let m = SamplingMode::parse(text).expect("parses");
+            assert_eq!(m.describe(), text);
+        }
+        // Defaults are filled in.
+        assert_eq!(
+            SamplingMode::parse("simpoints:800:4").expect("parses"),
+            SamplingMode::SimPoints {
+                interval_ops: 800,
+                k: 4,
+                warmup_ops: 100
+            }
+        );
+        assert_eq!(
+            SamplingMode::parse("simpoints:800:4:0").expect("parses"),
+            SamplingMode::SimPoints {
+                interval_ops: 800,
+                k: 4,
+                warmup_ops: 0
+            }
+        );
+        assert_eq!(
+            SamplingMode::parse("learned:800:4").expect("parses"),
+            SamplingMode::Learned {
+                interval_ops: 800,
+                k: 4,
+                max_features: 4
+            }
+        );
+        for bad in [
+            "",
+            "simpoint",
+            "simpoints",
+            "simpoints:0:4",
+            "simpoints:100:0",
+            "simpoints:100:4:5:6",
+            "learned:100",
+            "exact:1",
+            "simpoints:x:4",
+        ] {
+            assert!(SamplingMode::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn exact_mode_is_the_reference_path_with_trivial_stats() {
+        let b = &specint_like()[8];
+        let cfg = CoreConfig::power10();
+        let s = run_benchmark_sampled(&cfg, b, 1, 4_000, &SamplingMode::Exact);
+        let reference = scenario::run_benchmark(&cfg, b, 1, 4_000);
+        assert_eq!(
+            serde_json::to_string(&s.result).expect("json"),
+            serde_json::to_string(&reference).expect("json"),
+        );
+        assert_eq!(s.stats.simulated_ops, s.stats.total_ops);
+        assert_eq!(s.stats.skipped_ops, 0);
+        assert_eq!(s.stats.cpi_bound_rel, 0.0);
+    }
+
+    #[test]
+    fn sampled_run_covers_every_op_and_holds_its_invariants() {
+        let b = &specint_like()[8];
+        let cfg = CoreConfig::power10();
+        let s = run_benchmark_sampled(&cfg, b, 1, 6_100, &simpoints_mode());
+        assert_eq!(s.stats.total_ops, 6_100);
+        assert_eq!(
+            s.stats.simulated_ops + s.stats.skipped_ops,
+            s.stats.total_ops
+        );
+        assert_eq!(s.stats.intervals, 7, "6100 ops @ 1000 = 6 full + tail");
+        assert!(s.stats.clusters >= 1 && s.stats.clusters <= 4);
+        assert!(s.stats.simulated_ops < s.stats.total_ops, "must skip work");
+        // Reconstitution invariants exact results guarantee.
+        assert_eq!(s.result.sim.activity.completed, 6_100);
+        assert_eq!(
+            s.result.sim.attribution.total(),
+            s.result.sim.activity.cycles
+        );
+        assert_eq!(s.result.sim.total_completed(), 6_100);
+        assert!(s.stats.cpi_est > 0.0 && s.stats.power_est > 0.0);
+        assert!(s.stats.cpi_bound_rel >= BOUND_FLOOR_REL);
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let b = &specint_like()[7];
+        let cfg = CoreConfig::power10();
+        let a = run_benchmark_sampled(&cfg, b, 3, 5_000, &simpoints_mode());
+        let b2 = run_benchmark_sampled(&cfg, b, 3, 5_000, &simpoints_mode());
+        assert_eq!(
+            serde_json::to_string(&a).expect("json"),
+            serde_json::to_string(&b2).expect("json"),
+        );
+    }
+
+    #[test]
+    fn rebalance_partitions_exactly() {
+        let a = CycleAttribution {
+            active: 50,
+            memory_bound: 60,
+            ..CycleAttribution::default()
+        };
+        // Overshoot: 110 > 100 shaves the largest bucket.
+        let r = rebalance(a, 100);
+        assert_eq!(r.total(), 100);
+        assert_eq!(r.memory_bound, 50);
+        assert_eq!(r.idle, 0);
+        // Undershoot: slack lands in idle.
+        let r = rebalance(a, 200);
+        assert_eq!(r.total(), 200);
+        assert_eq!(r.idle, 90);
+        // Degenerate: fewer cycles than any bucket can absorb.
+        let r = rebalance(a, 0);
+        assert_eq!(r.total(), 0);
+    }
+
+    #[test]
+    fn global_mode_is_set_once_and_exact_is_not_active() {
+        // `active()` must never report an exact mode; before any set_mode
+        // call it is None (figures is the only setter in production).
+        if MODE.get().is_none() {
+            assert!(active().is_none());
+        }
+        set_mode(SamplingMode::Exact);
+        assert!(active().is_none(), "exact must not activate sampling");
+    }
+}

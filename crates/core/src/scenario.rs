@@ -128,15 +128,27 @@ pub fn run_benchmark(
     seed: u64,
     max_ops: u64,
 ) -> ScenarioResult {
-    let threads = cfg.smt.threads();
-    let traces = (0..threads)
+    run_traces(cfg, &bench.name, benchmark_views(cfg, bench, seed, max_ops))
+}
+
+/// The per-thread trace views [`run_benchmark`] simulates: one workload
+/// instance per SMT thread, seeds offset by thread index. Shared with the
+/// sampled-execution path so exact and sampled runs of one point see the
+/// same op streams.
+#[must_use]
+pub fn benchmark_views(
+    cfg: &CoreConfig,
+    bench: &Benchmark,
+    seed: u64,
+    max_ops: u64,
+) -> Vec<TraceView> {
+    (0..cfg.smt.threads())
         .map(|t| {
             bench
                 .workload(seed + t as u64 * 101)
                 .trace_view_or_panic(max_ops)
         })
-        .collect::<Vec<_>>();
-    run_traces(cfg, &bench.name, traces)
+        .collect()
 }
 
 /// Runs pre-built traces on the configuration and evaluates power.

@@ -48,7 +48,15 @@ pub fn run_trace_study(
         workload.trace_view_or_panic(total_ops)
     });
     let bbvs = runner::timed("tracestudy bbv intervals", || {
-        bbv_intervals(trace.ops(), epoch_ops, 64)
+        let mut bbvs = bbv_intervals(trace.ops(), epoch_ops, 64);
+        // This study aligns BBV intervals 1:1 with equal-size counter
+        // epochs, so the ragged partial tail (which has no matching
+        // epoch) is dropped here — the sampled-execution engine is the
+        // consumer that keeps it, with an ops-proportional weight.
+        if trace.len() % epoch_ops != 0 {
+            bbvs.pop();
+        }
+        bbvs
     });
 
     // Timing epochs: drive the cycle model and cut windows at epoch_ops

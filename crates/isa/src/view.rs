@@ -95,6 +95,37 @@ impl TraceView {
     pub fn total_flops(&self) -> u64 {
         self.ops().iter().map(|o| u64::from(o.flops)).sum()
     }
+
+    /// Splits the view into consecutive `interval_ops`-sized windows,
+    /// each sharing this view's storage (pure range arithmetic — this is
+    /// what makes sampled execution's interval partitioning free on the
+    /// trace arena). The final window is the ragged tail when the length
+    /// is not a multiple of `interval_ops`; every op lands in exactly one
+    /// window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_ops` is zero.
+    #[must_use]
+    pub fn intervals(&self, interval_ops: usize) -> Vec<TraceView> {
+        assert!(interval_ops > 0, "interval_ops must be positive");
+        (0..self.len)
+            .step_by(interval_ops)
+            .map(|start| self.slice(start..self.len.min(start + interval_ops)))
+            .collect()
+    }
+
+    /// The `idx`-th `interval_ops`-sized window of the view, clipped to
+    /// the view's bounds (possibly empty for out-of-range indices) —
+    /// [`TraceView::intervals`] element access without materializing the
+    /// whole partition.
+    #[must_use]
+    pub fn interval(&self, interval_ops: usize, idx: usize) -> TraceView {
+        assert!(interval_ops > 0, "interval_ops must be positive");
+        let start = self.len.min(idx.saturating_mul(interval_ops));
+        let end = self.len.min(start.saturating_add(interval_ops));
+        self.slice(start..end)
+    }
 }
 
 impl Index<usize> for TraceView {
@@ -185,6 +216,29 @@ mod tests {
         assert_eq!(a, b);
         assert!(!a.shares_storage(&b));
         assert_ne!(a.slice(0..5), b);
+    }
+
+    #[test]
+    fn intervals_partition_the_view_with_ragged_tail() {
+        let v = TraceView::from(ops(10));
+        let parts = v.intervals(4);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 4);
+        assert_eq!(parts[1].len(), 4);
+        assert_eq!(parts[2].len(), 2, "ragged tail kept");
+        // Every window is zero-copy and they reassemble the exact view.
+        let mut all = Vec::new();
+        for (i, p) in parts.iter().enumerate() {
+            assert!(p.shares_storage(&v));
+            assert_eq!(p.ops(), v.interval(4, i).ops());
+            all.extend_from_slice(p.ops());
+        }
+        assert_eq!(&all[..], v.ops());
+        // Exactly-divisible views have no tail; out-of-range interval
+        // access clips to empty.
+        assert_eq!(v.intervals(5).len(), 2);
+        assert!(v.interval(4, 3).is_empty());
+        assert!(v.interval(4, usize::MAX / 2).is_empty());
     }
 
     #[test]

@@ -9,14 +9,19 @@ use rand::{Rng, SeedableRng};
 /// `interval_ops` dynamic instructions. Basic blocks are approximated by
 /// bucketing instruction addresses (`n_buckets` code regions), which
 /// matches BBV behaviour for our generated code layouts.
+///
+/// A trace whose length is not a multiple of `interval_ops` contributes
+/// its ragged tail as one final *partial* interval (still a normalized
+/// distribution), so the intervals cover 100% of the ops. Callers that
+/// weight intervals by op count should weight the tail by
+/// `len / interval_ops` — see [`simpoints_weighted`]; callers that need
+/// equal-size intervals only (e.g. epoch alignment) can pop the last
+/// entry when `ops.len() % interval_ops != 0`.
 #[must_use]
 pub fn bbv_intervals(ops: &[DynOp], interval_ops: usize, n_buckets: usize) -> Vec<Vec<f64>> {
     assert!(interval_ops > 0 && n_buckets > 0);
     let mut out = Vec::new();
     for chunk in ops.chunks(interval_ops) {
-        if chunk.len() < interval_ops {
-            break; // drop the ragged tail
-        }
         let mut v = vec![0.0f64; n_buckets];
         for op in chunk {
             let bucket = ((op.pc >> 4) as usize) % n_buckets;
@@ -142,6 +147,71 @@ pub fn simpoints(bbvs: &[Vec<f64>], k: usize, seed: u64) -> Selection {
     Selection { picks }
 }
 
+/// A [`simpoints_weighted`] selection with its full cluster structure —
+/// what a sampled-execution engine needs beyond the bare picks: which
+/// intervals each representative stands for (for error-bound estimation)
+/// in addition to the ops-weighted projection weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedSimpoints {
+    /// `(representative, weight)` pairs; weights sum to 1 and are
+    /// proportional to the summed *interval weights* (op counts) of each
+    /// cluster, so partial tail intervals count exactly their share.
+    pub selection: Selection,
+    /// Per pick, the member interval indices of that cluster (the
+    /// representative itself included).
+    pub members: Vec<Vec<usize>>,
+}
+
+/// Like [`simpoints`], but each interval carries a weight (its op count,
+/// so ragged tail intervals count `len / interval_ops` of a full one) and
+/// cluster weights are the summed member weights instead of member
+/// counts. Representatives are still the member closest to the centroid.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != bbvs.len()` or any weight is not positive.
+#[must_use]
+pub fn simpoints_weighted(
+    bbvs: &[Vec<f64>],
+    weights: &[f64],
+    k: usize,
+    seed: u64,
+) -> WeightedSimpoints {
+    assert_eq!(bbvs.len(), weights.len(), "one weight per interval");
+    assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+    if bbvs.is_empty() {
+        return WeightedSimpoints {
+            selection: Selection { picks: Vec::new() },
+            members: Vec::new(),
+        };
+    }
+    let (assign, centroids) = kmeans(bbvs, k, seed);
+    let total: f64 = weights.iter().sum();
+    let mut picks = Vec::new();
+    let mut members_out = Vec::new();
+    for (ci, c) in centroids.iter().enumerate() {
+        let members: Vec<usize> = (0..bbvs.len()).filter(|&i| assign[i] == ci).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let rep = *members
+            .iter()
+            .min_by(|&&a, &&b| {
+                dist2(&bbvs[a], c)
+                    .partial_cmp(&dist2(&bbvs[b], c))
+                    .expect("finite")
+            })
+            .expect("nonempty");
+        let weight: f64 = members.iter().map(|&i| weights[i]).sum::<f64>() / total;
+        picks.push((rep, weight));
+        members_out.push(members);
+    }
+    WeightedSimpoints {
+        selection: Selection { picks },
+        members: members_out,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,11 +261,62 @@ mod tests {
             let s: f64 = v.iter().sum();
             assert!((s - 1.0).abs() < 1e-9);
         }
-        // A single loop: every steady-state interval has the same BBV
-        // (skip the first, which contains the prologue).
-        for v in &bbvs[2..] {
+        // A single loop: every steady-state *full* interval has the same
+        // BBV (skip the first, which contains the prologue, and the
+        // ragged tail, which is a partial interval).
+        let full = t.ops.len() / 700;
+        for v in &bbvs[2..full] {
             assert!(dist2(v, &bbvs[1]) < 1e-12);
         }
+    }
+
+    #[test]
+    fn ragged_tail_is_kept_as_a_partial_interval() {
+        use p10_isa::{DynOp, OpClass};
+        // 10 intervals of 300 ops plus a 100-op tail: the tail must be
+        // returned (normalized like any other interval) so the interval
+        // set covers 100% of the ops, and its ops-proportional weight is
+        // len / interval_ops.
+        let ops: Vec<DynOp> = (0u64..3100)
+            .map(|i| DynOp::new(i * 4, OpClass::IntAlu))
+            .collect();
+        let bbvs = bbv_intervals(&ops, 300, 8);
+        assert_eq!(bbvs.len(), 11, "10 full intervals + 1 partial tail");
+        for v in &bbvs {
+            let s: f64 = v.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "tail must still be normalized");
+        }
+        // An exactly-divisible trace has no tail entry.
+        assert_eq!(bbv_intervals(&ops[..3000], 300, 8).len(), 10);
+    }
+
+    #[test]
+    fn weighted_simpoints_weight_by_ops_not_interval_count() {
+        // Two well-separated behaviours; the second has a half-weight
+        // tail interval. Cluster weights must follow the op weights.
+        let a = vec![1.0, 0.0];
+        let b = vec![0.0, 1.0];
+        let bbvs = vec![a.clone(), a.clone(), a, b.clone(), b.clone(), b];
+        let weights = vec![1.0, 1.0, 1.0, 1.0, 1.0, 0.5];
+        let w = simpoints_weighted(&bbvs, &weights, 2, 3);
+        assert_eq!(w.selection.len(), 2);
+        let total: f64 = w.selection.picks.iter().map(|&(_, x)| x).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for (pick_i, &(rep, weight)) in w.selection.picks.iter().enumerate() {
+            let members = &w.members[pick_i];
+            assert!(members.contains(&rep));
+            let expect: f64 =
+                members.iter().map(|&i| weights[i]).sum::<f64>() / weights.iter().sum::<f64>();
+            assert!((weight - expect).abs() < 1e-9);
+        }
+        // The cluster holding the tail weighs 2.5/5.5, not 3/6.
+        let light = w
+            .selection
+            .picks
+            .iter()
+            .map(|&(_, x)| x)
+            .fold(f64::INFINITY, f64::min);
+        assert!((light - 2.5 / 5.5).abs() < 1e-9);
     }
 
     #[test]

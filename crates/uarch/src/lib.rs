@@ -52,6 +52,7 @@ mod config;
 mod pipeline;
 mod stats;
 mod tlb;
+pub mod warm;
 
 pub use branch::{BranchPredictor, Prediction};
 pub use cache::{Cache, HitLevel, MemHierarchy, StreamPrefetcher};
@@ -62,3 +63,4 @@ pub use config::{
 pub use pipeline::{Core, SpanObserver};
 pub use stats::{Activity, CycleAttribution, SimResult};
 pub use tlb::{Mmu, TranslateSide};
+pub use warm::{FunctionalWarmer, WarmState};

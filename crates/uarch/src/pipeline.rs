@@ -278,6 +278,19 @@ impl Core {
         }
     }
 
+    /// Creates a core whose caches, TLBs, and branch predictor start
+    /// from `state` (see [`crate::warm::FunctionalWarmer`]) instead of
+    /// cold. The pipeline itself (window, queues, calendar) starts empty
+    /// either way.
+    #[must_use]
+    pub fn with_state(cfg: CoreConfig, state: crate::warm::WarmState) -> Self {
+        let mut core = Core::new(cfg);
+        core.predictor = state.predictor;
+        core.mem = state.mem;
+        core.mmu = state.mmu;
+        core
+    }
+
     fn event_driven(&self) -> bool {
         self.cfg.scheduler == Scheduler::EventDriven
     }

@@ -76,6 +76,26 @@ macro_rules! activity_struct {
             pub fn len() -> usize {
                 [$(stringify!($field),)+].len()
             }
+
+            /// Element-wise weighted sum of `(weight, activity)` terms,
+            /// rounded to the nearest count (negative sums clamp to 0).
+            ///
+            /// This is the reconstitution primitive of sampled execution:
+            /// a whole-trace activity estimate is the per-cluster
+            /// representatives scaled by `cluster_ops / representative_ops`
+            /// and summed.
+            #[must_use]
+            pub fn weighted_sum(terms: &[(f64, Activity)]) -> Activity {
+                #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Activity {
+                    $($field: terms
+                        .iter()
+                        .map(|(w, a)| w * a.$field as f64)
+                        .sum::<f64>()
+                        .round()
+                        .max(0.0) as u64,)+
+                }
+            }
         }
     };
 }
@@ -405,6 +425,27 @@ mod tests {
         assert!((a.flops_per_cycle() - 4.0).abs() < 1e-12);
         assert!((a.branch_mispredict_rate() - 0.1).abs() < 1e-12);
         assert!((a.mean_window_occupancy() - 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_sum_scales_and_rounds_elementwise() {
+        let a = Activity {
+            cycles: 100,
+            completed: 40,
+            ..Activity::default()
+        };
+        let b = Activity {
+            cycles: 7,
+            loads: 3,
+            ..Activity::default()
+        };
+        let s = Activity::weighted_sum(&[(2.5, a), (1.0, b)]);
+        assert_eq!(s.cycles, 257);
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.loads, 3);
+        // 2.5 * 7 = 17.5 rounds to 18.
+        assert_eq!(Activity::weighted_sum(&[(2.5, b)]).cycles, 18);
+        assert_eq!(Activity::weighted_sum(&[]), Activity::default());
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! Functional warming: timing-free replay of ops through the
+//! long-lived microarchitectural state (caches, TLBs, branch predictor).
+//!
+//! Sampled simulation measures only representative intervals in detail.
+//! Cache and predictor state, however, warms over timescales far longer
+//! than any affordable detailed warmup prefix (a pointer chase over a
+//! 288 KB footprint takes hundreds of thousands of ops to reach steady
+//! state). The warmer replays every skipped op against just that state
+//! — no pipeline, no timing — so each measured interval starts from the
+//! cache/predictor contents the exact run would have had.
+
+use crate::branch::BranchPredictor;
+use crate::cache::MemHierarchy;
+use crate::config::CoreConfig;
+use crate::stats::Activity;
+use crate::tlb::{Mmu, TranslateSide};
+use p10_isa::{DynOp, TraceView};
+
+/// The long-lived microarchitectural state shared between functional
+/// warming and detailed simulation: branch predictor, cache hierarchy,
+/// and TLBs. Cheap to clone; snapshot it at an interval boundary and
+/// hand it to [`crate::Core::with_state`] to start a detailed run warm.
+#[derive(Debug, Clone)]
+pub struct WarmState {
+    pub(crate) predictor: BranchPredictor,
+    pub(crate) mem: MemHierarchy,
+    pub(crate) mmu: Mmu,
+}
+
+impl WarmState {
+    /// Cold state for the given configuration.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> Self {
+        WarmState {
+            predictor: BranchPredictor::new(&cfg.branch),
+            mem: MemHierarchy::new(cfg),
+            mmu: Mmu::new(cfg),
+        }
+    }
+}
+
+/// Replays ops in program order, updating only a [`WarmState`].
+///
+/// Per op this touches the I-cache (once per fetched line, mirroring the
+/// pipeline's one-access-per-fetch-group policy), trains the branch
+/// predictor, and sends loads/stores through the TLB and data hierarchy.
+/// All counter side effects land in a scratch [`Activity`] that is never
+/// reported.
+#[derive(Debug)]
+pub struct FunctionalWarmer {
+    state: WarmState,
+    scratch: Activity,
+    /// Last I-line accessed per thread, so sequential fetch within a
+    /// line costs one access like the detailed fetch stage.
+    last_iline: [u64; 4],
+    iline_shift: u32,
+    ops: u64,
+}
+
+impl FunctionalWarmer {
+    /// A cold warmer for the given configuration.
+    #[must_use]
+    pub fn new(cfg: &CoreConfig) -> Self {
+        FunctionalWarmer {
+            state: WarmState::new(cfg),
+            scratch: Activity::default(),
+            last_iline: [u64::MAX; 4],
+            iline_shift: cfg.l1i.line_bytes.trailing_zeros(),
+            ops: 0,
+        }
+    }
+
+    /// Replays one trace slice per hardware thread through the state.
+    pub fn observe(&mut self, views: &[TraceView]) {
+        for (tid, v) in views.iter().enumerate() {
+            let tid = tid.min(3);
+            for op in v.ops() {
+                self.observe_op(tid, op);
+            }
+        }
+    }
+
+    fn observe_op(&mut self, tid: usize, op: &DynOp) {
+        self.ops += 1;
+        let iline = op.pc >> self.iline_shift;
+        if iline != self.last_iline[tid] {
+            self.last_iline[tid] = iline;
+            self.state
+                .mmu
+                .translate(op.pc, TranslateSide::Inst, &mut self.scratch);
+            self.state.mem.access_inst(op.pc, &mut self.scratch);
+        }
+        if let Some(info) = op.branch {
+            self.state
+                .predictor
+                .predict_and_train(tid, op.pc, &info, op.pc + 4);
+        }
+        if let Some(m) = op.mem {
+            self.state
+                .mmu
+                .translate(m.addr, TranslateSide::Data, &mut self.scratch);
+            self.state.mem.access_data(m.addr, &mut self.scratch);
+        }
+    }
+
+    /// Ops replayed so far.
+    #[must_use]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Cumulative counter side effects of the replay (cache and TLB
+    /// access/miss counts). Timing-free, but exactly the signal that
+    /// distinguishes a cold cache transient from steady state — diff
+    /// snapshots of this between intervals to get per-interval rates.
+    #[must_use]
+    pub fn activity(&self) -> &Activity {
+        &self.scratch
+    }
+
+    /// The current warmed state (snapshot with `.clone()`).
+    #[must_use]
+    pub fn state(&self) -> &WarmState {
+        &self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p10_isa::{MemRef, OpClass};
+
+    fn chase_trace(lines: u64) -> TraceView {
+        let ops: Vec<DynOp> = (0..lines)
+            .map(|i| {
+                let mut op = DynOp::new(i * 4, OpClass::Load);
+                op.mem = Some(MemRef {
+                    addr: (i * 131) % lines * 128,
+                    size: 8,
+                });
+                op
+            })
+            .collect();
+        TraceView::from(ops)
+    }
+
+    #[test]
+    fn warming_fills_the_caches() {
+        let cfg = CoreConfig::power10();
+        let view = chase_trace(4096);
+        let mut w = FunctionalWarmer::new(&cfg);
+        w.observe(std::slice::from_ref(&view));
+        assert_eq!(w.ops(), 4096);
+        // After replaying the whole footprint (512 KB — larger than L1,
+        // within L2), a second pass should hit overwhelmingly below L1:
+        // replay again and compare the scratch L2-miss deltas.
+        let before = w.scratch.l2_misses;
+        w.observe(&[view]);
+        let second_pass = w.scratch.l2_misses - before;
+        assert!(
+            second_pass * 4 < before,
+            "second pass misses {second_pass} not << first pass {before}"
+        );
+    }
+
+    #[test]
+    fn warm_state_clones_are_independent() {
+        let cfg = CoreConfig::power10();
+        let mut w = FunctionalWarmer::new(&cfg);
+        let cold = w.state().clone();
+        w.observe(&[chase_trace(512)]);
+        let mut scratch = Activity::default();
+        let mut warm = w.state().clone();
+        let mut cold = cold;
+        let (_, warm_lvl) = warm.mem.access_data(0, &mut scratch);
+        let (_, cold_lvl) = cold.mem.access_data(0, &mut scratch);
+        assert_ne!(
+            (warm_lvl, cold_lvl),
+            (crate::cache::HitLevel::Mem, crate::cache::HitLevel::L1),
+            "sanity: warm state should not be colder than cold state"
+        );
+    }
+}
