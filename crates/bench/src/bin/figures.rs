@@ -17,15 +17,34 @@
 //! (default, byte-identical reference), `simpoints:INTERVAL:K[:WARMUP]`,
 //! or `learned:INTERVAL:K[:FEATURES]` — see `p10_core::sampling`.
 //! `--trace-out FILE` (or the `P10SIM_TRACE` env
-//! var) writes a JSON-lines event trace via `p10_obs`; either way an
-//! end-of-run summary table lands on stderr. `<experiment>` is one of:
+//! var) writes an event trace via `p10_obs` — JSON lines by default, or
+//! a `chrome://tracing`/Perfetto-loadable trace-event file with
+//! `--trace-format chrome` (or `P10SIM_TRACE_FORMAT`); either way an
+//! end-of-run summary table lands on stderr. `--obs-json FILE` (or
+//! `P10SIM_OBS_JSON`) additionally serializes that summary as one JSON
+//! object for scripts.
+//!
+//! Every run also appends one `RunRecord` JSON line to the persistent
+//! run ledger (`target/p10sim-ledger/`, overridable with `P10SIM_LEDGER`
+//! or `--ledger-dir`, disabled with `--no-ledger`) — see
+//! `p10_obs::ledger`. The `obsreport` pseudo-experiment reads that
+//! history back: it prints wall-time/cache/coverage trends for the
+//! latest run against a baseline (`--baseline` selects one; default is
+//! the previous comparable run) and with `--gate PCT` exits non-zero
+//! when the latest run regressed more than `PCT` percent (deltas under
+//! `--min-s` seconds never gate). `<experiment>` is one of:
 //! `table1 fig2 fig4 fig5 fig6 socket fig10 fig11 fig12 fig13 fig14
 //! fig15a fig15b flushes coverage apex-speedup wof tracepoints
-//! sensitivity smt tracking droop profile sampling all` — `profile`
-//! (the cycle-attribution tables) and `sampling` (the exact-vs-sampled
-//! error/speedup study, whose wall-clock numbers vary run to run) run on
-//! demand only and are not part of `all`, which keeps `all`'s stdout
-//! stable across additions.
+//! sensitivity smt tracking droop profile sampling obsreport all` —
+//! `profile` (the cycle-attribution tables), `sampling` (the
+//! exact-vs-sampled error/speedup study, whose wall-clock numbers vary
+//! run to run) and `obsreport` run on demand only and are not part of
+//! `all`, which keeps `all`'s stdout stable across additions.
+//!
+//! Stdout discipline: ledger, trace, and obs-json outputs never touch
+//! experiment stdout — `figures all` stdout is byte-identical with all
+//! of them enabled or disabled (wall-clock data lives on stderr and in
+//! the ledger only).
 
 use p10_bench::{suite, FULL_OPS};
 use p10_core::powerstudies::{
@@ -73,22 +92,43 @@ struct Opts {
     no_cache: bool,
     no_trace_arena: bool,
     trace_out: Option<std::path::PathBuf>,
+    trace_format: Option<p10_obs::TraceFormat>,
+    obs_json: Option<std::path::PathBuf>,
+    ledger_dir: Option<std::path::PathBuf>,
+    no_ledger: bool,
+    baseline: Option<String>,
+    gate: Option<f64>,
+    min_s: f64,
     sampling: Option<SamplingMode>,
 }
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
     eprintln!(
-        "usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE] [--sampling MODE]"
+        "usage: figures <experiment> [--json] [--ops N] [--out DIR] [--jobs N] [--no-cache] [--no-trace-arena] [--trace-out FILE] [--trace-format jsonl|chrome] [--obs-json FILE] [--ledger-dir DIR] [--no-ledger] [--sampling MODE]"
+    );
+    eprintln!(
+        "       figures obsreport [--ledger-dir DIR] [--baseline SEL] [--gate PCT] [--min-s SECS]"
     );
     eprintln!(
         "sampling modes: exact | simpoints:INTERVAL:K[:WARMUP] | learned:INTERVAL:K[:FEATURES]"
     );
     eprintln!(
-        "experiments: {} profile sampling all",
+        "experiments: {} profile sampling obsreport all",
         EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
+}
+
+/// Parses a `--trace-format` / `P10SIM_TRACE_FORMAT` value.
+fn parse_trace_format(v: &str) -> p10_obs::TraceFormat {
+    match v {
+        "jsonl" | "json-lines" => p10_obs::TraceFormat::JsonLines,
+        "chrome" => p10_obs::TraceFormat::Chrome,
+        other => usage_error(&format!(
+            "invalid trace format '{other}' (expected jsonl or chrome)"
+        )),
+    }
 }
 
 /// Parses the command line strictly: malformed values and unknown
@@ -104,6 +144,13 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         no_cache: false,
         no_trace_arena: false,
         trace_out: None,
+        trace_format: None,
+        obs_json: None,
+        ledger_dir: None,
+        no_ledger: false,
+        baseline: None,
+        gate: None,
+        min_s: 0.05,
         sampling: None,
     };
     let mut i = 0;
@@ -141,6 +188,34 @@ fn parse_args(args: &[String]) -> (String, Opts) {
             "--trace-out" => {
                 opts.trace_out = Some(std::path::PathBuf::from(flag_value("--trace-out")));
             }
+            "--trace-format" => {
+                opts.trace_format = Some(parse_trace_format(&flag_value("--trace-format")));
+            }
+            "--obs-json" => {
+                opts.obs_json = Some(std::path::PathBuf::from(flag_value("--obs-json")));
+            }
+            "--ledger-dir" => {
+                opts.ledger_dir = Some(std::path::PathBuf::from(flag_value("--ledger-dir")));
+            }
+            "--no-ledger" => opts.no_ledger = true,
+            "--baseline" => opts.baseline = Some(flag_value("--baseline")),
+            "--gate" => {
+                let v = flag_value("--gate");
+                opts.gate = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|p: &f64| p.is_finite() && *p >= 0.0)
+                        .unwrap_or_else(|| usage_error(&format!("invalid --gate value '{v}'"))),
+                );
+            }
+            "--min-s" => {
+                let v = flag_value("--min-s");
+                opts.min_s = v
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| usage_error(&format!("invalid --min-s value '{v}'")));
+            }
             "--sampling" => {
                 let v = flag_value("--sampling");
                 opts.sampling = Some(SamplingMode::parse(&v).unwrap_or_else(|e| usage_error(&e)));
@@ -153,6 +228,7 @@ fn parse_args(args: &[String]) -> (String, Opts) {
                 if exp != "all"
                     && exp != "profile"
                     && exp != "sampling"
+                    && exp != "obsreport"
                     && !EXPERIMENTS.contains(&exp)
                 {
                     usage_error(&format!("unknown experiment '{exp}'"));
@@ -162,7 +238,11 @@ fn parse_args(args: &[String]) -> (String, Opts) {
         }
         i += 1;
     }
-    (what.unwrap_or_else(|| "all".to_owned()), opts)
+    let what = what.unwrap_or_else(|| "all".to_owned());
+    if what != "obsreport" && (opts.gate.is_some() || opts.baseline.is_some()) {
+        usage_error("--gate/--baseline only apply to the obsreport experiment");
+    }
+    (what, opts)
 }
 
 /// With `--out DIR`, re-runs the experiment as a child process in
@@ -178,6 +258,7 @@ fn write_artifact(opts: &Opts, name: &str) {
     let mut args = vec![
         name.to_owned(),
         "--json".to_owned(),
+        "--no-ledger".to_owned(),
         "--ops".to_owned(),
         opts.ops.to_string(),
     ];
@@ -196,10 +277,11 @@ fn write_artifact(opts: &Opts, name: &str) {
         args.push(mode.describe());
     }
     // The child is a throwaway re-run for the JSON payload: never let it
-    // append to (or clobber) the parent's trace file.
+    // append to (or clobber) the parent's trace, obs-json, or ledger.
     let output = std::process::Command::new(exe)
         .args(&args)
         .env_remove("P10SIM_TRACE")
+        .env_remove("P10SIM_OBS_JSON")
         .output()
         .expect("re-run experiment for artifact");
     assert!(
@@ -227,14 +309,36 @@ fn write_artifact(opts: &Opts, name: &str) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (what, opts) = parse_args(&args);
+    let started_unix_ms = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+
+    // obsreport is pure ledger analysis: no recorder, engine, or
+    // simulation — read the history, report, and exit.
+    if what == "obsreport" {
+        std::process::exit(do_obsreport(&opts));
+    }
 
     // Observability first, so every later span/counter lands in the same
-    // recorder. The trace sink comes from --trace-out, else P10SIM_TRACE.
+    // recorder. The trace sink comes from --trace-out, else P10SIM_TRACE;
+    // its format from --trace-format, else P10SIM_TRACE_FORMAT.
     let trace_path = opts
         .trace_out
         .clone()
         .or_else(|| std::env::var_os("P10SIM_TRACE").map(std::path::PathBuf::from));
-    p10_obs::init(&p10_obs::ObsConfig { trace_path });
+    let trace_format = opts
+        .trace_format
+        .or_else(|| {
+            std::env::var("P10SIM_TRACE_FORMAT")
+                .ok()
+                .map(|v| parse_trace_format(&v))
+        })
+        .unwrap_or_default();
+    p10_obs::init(&p10_obs::ObsConfig {
+        trace_path,
+        trace_format,
+    });
+    p10_obs::set_thread_name("main");
 
     if opts.no_trace_arena {
         p10_workloads::arena::set_enabled(false);
@@ -248,6 +352,7 @@ fn main() {
             .ok()
             .map(|v| SamplingMode::parse(&v).unwrap_or_else(|e| usage_error(&e)))
     });
+    let sampling_key = sampling_mode.map_or_else(|| "exact".to_owned(), |m| m.describe());
     if let Some(mode) = sampling_mode {
         sampling::set_mode(mode);
         if !mode.is_exact() {
@@ -278,7 +383,7 @@ fn main() {
         vec![what.as_str()]
     };
 
-    for e in experiments {
+    for &e in &experiments {
         let sp = p10_obs::span(e);
         match e {
             "table1" => do_table1(&opts),
@@ -357,10 +462,247 @@ fn main() {
         );
     }
 
+    // Worker utilization: each worker slot's busy seconds as a fraction
+    // of total run wall time (derived from the busy_us counters the
+    // runner records per pool).
+    if s.total_wall_s > 0.0 {
+        for c in &s.counters {
+            if let Some(slot) = c
+                .name
+                .strip_prefix("engine.")
+                .and_then(|r| r.strip_suffix(".busy_us"))
+            {
+                #[allow(clippy::cast_precision_loss)]
+                p10_obs::gauge(
+                    &format!("runner.{slot}.busy_frac"),
+                    c.value as f64 / 1e6 / s.total_wall_s,
+                );
+            }
+        }
+    }
+
     // Flush thread-local buffers and print the run summary (phase wall
     // times, cache layer hits, per-worker job counts) on stderr — stdout
     // stays reserved for the deterministic experiment output.
-    eprint!("{}", p10_obs::render_summary(&p10_obs::summary()));
+    let final_summary = p10_obs::summary();
+    eprint!("{}", p10_obs::render_summary(&final_summary));
+
+    // Machine-readable mirrors of that summary: --obs-json (one JSON
+    // object) and the persistent run ledger (one RunRecord line).
+    let obs_json = opts
+        .obs_json
+        .clone()
+        .or_else(|| std::env::var_os("P10SIM_OBS_JSON").map(std::path::PathBuf::from));
+    if let Some(path) = obs_json {
+        match serde_json::to_string(&final_summary) {
+            Ok(line) => {
+                if let Err(e) = std::fs::write(&path, format!("{line}\n")) {
+                    eprintln!("[figures] cannot write obs json {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("[figures] cannot serialize obs summary: {e}"),
+        }
+    }
+    if !opts.no_ledger {
+        let eng_cfg = runner::engine().config();
+        let identity = p10_obs::ledger::RunIdentity {
+            experiment: what.clone(),
+            config_text: format!(
+                "jobs={}|disk_cache={}|arena={}|sampling={sampling_key}",
+                eng_cfg.jobs,
+                eng_cfg.disk_cache.is_some(),
+                !opts.no_trace_arena
+            ),
+            workload_text: format!("{}|ops={}", experiments.join(","), opts.ops),
+            sampling_key: sampling_key.clone(),
+            ops: opts.ops,
+            jobs: eng_cfg.jobs as u64,
+            started_unix_ms,
+        };
+        let record = p10_obs::ledger::RunRecord::from_summary(&identity, final_summary);
+        let dir = opts
+            .ledger_dir
+            .clone()
+            .unwrap_or_else(p10_obs::ledger::default_dir);
+        match p10_obs::ledger::append(&dir, &record) {
+            Ok(path) => eprintln!(
+                "[figures] ledger: run {} appended to {}",
+                record.run_id,
+                path.display()
+            ),
+            Err(e) => eprintln!("[figures] ledger append failed ({}): {e}", dir.display()),
+        }
+    }
+
+    // Last: a Chrome-format trace buffers in memory and is written here.
+    p10_obs::finalize();
+}
+
+/// Selects the baseline run for `obsreport`: `--baseline` as a 1-based
+/// index into the comparable pool (1 = oldest) or a `run_id` prefix;
+/// without `--baseline`, the most recent comparable prior run.
+fn pick_baseline<'a>(
+    pool: &[&'a p10_obs::ledger::RunRecord],
+    selector: Option<&str>,
+) -> Result<Option<&'a p10_obs::ledger::RunRecord>, String> {
+    let Some(sel) = selector else {
+        return Ok(pool.last().copied());
+    };
+    if let Ok(idx) = sel.parse::<usize>() {
+        return idx
+            .checked_sub(1)
+            .and_then(|i| pool.get(i).copied())
+            .map(Some)
+            .ok_or_else(|| {
+                format!(
+                    "--baseline index {sel} out of range (pool has {} comparable runs)",
+                    pool.len()
+                )
+            });
+    }
+    pool.iter()
+        .find(|r| r.run_id.starts_with(sel))
+        .copied()
+        .map(Some)
+        .ok_or_else(|| format!("no comparable run with id prefix '{sel}'"))
+}
+
+/// The `obsreport` driver: reads ledger history, prints the latest run's
+/// wall-time/cache/coverage trends against a baseline, and applies the
+/// `--gate` regression check. Returns the process exit code.
+fn do_obsreport(opts: &Opts) -> i32 {
+    use p10_obs::ledger;
+    let dir = opts.ledger_dir.clone().unwrap_or_else(ledger::default_dir);
+    let runs = match ledger::read(&dir) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot read ledger {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    println!("=== obsreport: {} ({} runs) ===", dir.display(), runs.len());
+    let Some(latest) = runs.last() else {
+        println!("ledger is empty; run any `figures` experiment first");
+        return i32::from(opts.gate.is_some());
+    };
+    let prior = &runs[..runs.len() - 1];
+    let pool = ledger::comparable(prior, latest);
+    println!(
+        "latest: run {}  experiment={} ops={} sampling={} jobs={}  [{} {}, {} cpus]",
+        latest.run_id,
+        latest.experiment,
+        latest.ops,
+        latest.sampling_key,
+        latest.jobs,
+        latest.build.profile,
+        latest.machine.arch,
+        latest.machine.cpus
+    );
+
+    // Short history of comparable runs, oldest first (latest included).
+    println!(
+        "history ({} comparable runs, oldest first):",
+        pool.len() + 1
+    );
+    println!(
+        "  {:>3} {:<16} {:>9} {:>7} {:>7} {:>9}",
+        "#", "run", "wall", "cache%", "arena%", "coverage"
+    );
+    for (i, r) in pool.iter().chain(std::iter::once(&latest)).enumerate() {
+        println!(
+            "  {:>3} {:<16} {:>8.2}s {:>6.1}% {:>6.1}% {:>9.3}",
+            i + 1,
+            r.run_id,
+            r.wall_s,
+            r.cache.hit_rate() * 100.0,
+            r.arena.hit_rate * 100.0,
+            r.sampling.coverage
+        );
+    }
+
+    let baseline = match pick_baseline(&pool, opts.baseline.as_deref()) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return 1;
+        }
+    };
+    let Some(baseline) = baseline else {
+        println!("no comparable prior run to compare against");
+        if opts.gate.is_some() {
+            eprintln!("error: --gate needs a comparable baseline run in the ledger");
+            return 1;
+        }
+        return 0;
+    };
+
+    // Per-phase wall-time trend vs the baseline.
+    println!("trend vs baseline {}:", baseline.run_id);
+    println!(
+        "  {:<46} {:>9} {:>9} {:>8}",
+        "phase", "baseline", "latest", "delta"
+    );
+    let delta_pct = |base: f64, new: f64| {
+        if base > 0.0 {
+            (new / base - 1.0) * 100.0
+        } else {
+            0.0
+        }
+    };
+    for p in &latest.summary.phases {
+        if let Some(base) = baseline.phase_wall_s(&p.name) {
+            println!(
+                "  {:<46} {:>8.2}s {:>8.2}s {:>+7.1}%",
+                p.name,
+                base,
+                p.wall_s,
+                delta_pct(base, p.wall_s)
+            );
+        }
+    }
+    println!(
+        "  {:<46} {:>8.2}s {:>8.2}s {:>+7.1}%",
+        "total",
+        baseline.wall_s,
+        latest.wall_s,
+        delta_pct(baseline.wall_s, latest.wall_s)
+    );
+    println!(
+        "cache hit rate {:.1}% -> {:.1}%   arena hit rate {:.1}% -> {:.1}%   coverage {:.3} -> {:.3}",
+        baseline.cache.hit_rate() * 100.0,
+        latest.cache.hit_rate() * 100.0,
+        baseline.arena.hit_rate * 100.0,
+        latest.arena.hit_rate * 100.0,
+        baseline.sampling.coverage,
+        latest.sampling.coverage
+    );
+    for w in &latest.workers {
+        println!(
+            "worker {:<10} jobs={:<4} busy={:.2}s ({:.0}% of wall)",
+            w.worker,
+            w.jobs,
+            w.busy_s,
+            w.busy_frac * 100.0
+        );
+    }
+
+    let Some(pct) = opts.gate else { return 0 };
+    let regressions = ledger::gate(baseline, latest, pct, opts.min_s);
+    if regressions.is_empty() {
+        println!(
+            "gate: PASS (no wall-time regression beyond {pct}% and {:.2}s)",
+            opts.min_s
+        );
+        return 0;
+    }
+    for r in &regressions {
+        println!(
+            "gate: REGRESSION {} {:.2}s -> {:.2}s ({:+.1}% > {pct}%)",
+            r.phase, r.baseline_s, r.latest_s, r.delta_pct
+        );
+    }
+    println!("gate: FAIL ({} regression(s))", regressions.len());
+    1
 }
 
 fn header(title: &str, paper: &str) {

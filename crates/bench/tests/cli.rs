@@ -190,3 +190,239 @@ fn trace_out_writes_valid_json_lines() {
         "fig2 span event missing from trace"
     );
 }
+
+/// A unique scratch path under the system temp dir.
+fn scratch(tag: &str, leaf: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static UNIQ: AtomicU32 = AtomicU32::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "p10sim-cli-{tag}-{}-{}",
+        std::process::id(),
+        UNIQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("create scratch dir");
+    d.join(leaf)
+}
+
+#[test]
+fn chrome_trace_is_valid_and_tracks_workers() {
+    let path = scratch("chrome", "trace.json");
+    let out = figures()
+        .args([
+            "table1",
+            "--json",
+            "--ops",
+            "800",
+            "--jobs",
+            "2",
+            "--no-cache",
+            "--no-ledger",
+            "--trace-format",
+            "chrome",
+            "--trace-out",
+        ])
+        .arg(&path)
+        .output()
+        .expect("run figures");
+    assert!(out.status.success(), "chrome-traced run failed: {out:?}");
+    let text = std::fs::read_to_string(&path).expect("chrome trace written");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("trace parses as JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(serde_json::Value::as_array)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "trace must contain events");
+
+    let field_str = |v: &serde_json::Value, key: &str| -> String {
+        match v.get(key) {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            other => panic!("field {key} must be a string, got {other:?}"),
+        }
+    };
+    // Validity: every event on a (pid, tid) track, ts monotonic per track.
+    let mut last_ts: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+    let mut phases = Vec::new();
+    let mut track_names = Vec::new();
+    for e in events.iter() {
+        let tid = field_u64(e, "tid");
+        let ts = field_u64(e, "ts");
+        let prev = last_ts.entry(tid).or_insert(0);
+        assert!(*prev <= ts, "ts must be monotonic per track: {e:?}");
+        *prev = ts;
+        let ph = field_str(e, "ph");
+        if ph == "X" && field_str(e, "name") == "table1" {
+            phases.push(tid);
+        }
+        if ph == "M" {
+            track_names.push(field_str(e.get("args").expect("metadata args"), "name"));
+        }
+    }
+    assert_eq!(phases.len(), 1, "one table1 slice expected");
+    for want in ["main", "worker00", "worker01"] {
+        assert!(
+            track_names.iter().any(|n| n == want),
+            "track '{want}' missing from {track_names:?}"
+        );
+    }
+    // Per-job slices carry the job category for Perfetto filtering.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.get("cat"), Some(serde_json::Value::Str(c)) if c == "job")),
+        "job slices missing from trace"
+    );
+}
+
+#[test]
+fn ledger_records_runs_and_gate_passes_on_repeat() {
+    let dir = scratch("ledger", "");
+    let run = || {
+        let out = figures()
+            .args(["fig2", "--json", "--no-cache", "--ledger-dir"])
+            .arg(&dir)
+            .output()
+            .expect("run figures");
+        assert!(out.status.success(), "fig2 run failed: {out:?}");
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("[figures] ledger: run"),
+            "ledger append note missing from stderr"
+        );
+    };
+    run();
+    run();
+    let text = std::fs::read_to_string(dir.join("ledger.jsonl")).expect("ledger written");
+    let records: Vec<serde_json::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).unwrap_or_else(|e| panic!("bad ledger line {l:?}: {e}")))
+        .collect();
+    assert_eq!(records.len(), 2, "one record per run");
+    for r in &records {
+        assert_eq!(field_u64(r, "schema"), 1);
+        assert!(
+            matches!(r.get("experiment"), Some(serde_json::Value::Str(s)) if s == "fig2"),
+            "experiment field wrong: {r:?}"
+        );
+        assert!(r.get("machine").is_some() && r.get("summary").is_some());
+    }
+    // A repeat run at the same speed passes a generous gate.
+    let report = figures()
+        .args(["obsreport", "--gate", "10000", "--ledger-dir"])
+        .arg(&dir)
+        .output()
+        .expect("run obsreport");
+    let stdout = String::from_utf8_lossy(&report.stdout);
+    assert_eq!(
+        report.status.code(),
+        Some(0),
+        "repeat run must pass the gate: {stdout}"
+    );
+    assert!(
+        stdout.contains("gate: PASS"),
+        "missing PASS verdict: {stdout}"
+    );
+}
+
+/// Builds a synthetic ledger record with a given per-phase profile,
+/// exercising the same `RunRecord` path `figures` uses.
+fn synthetic_record(phases: &[(&str, f64)]) -> p10_obs::ledger::RunRecord {
+    let summary = p10_obs::Summary {
+        total_wall_s: phases.iter().map(|(_, w)| w).sum(),
+        phases: phases
+            .iter()
+            .map(|&(name, wall_s)| p10_obs::PhaseSummary {
+                name: name.into(),
+                wall_s,
+                calls: 1,
+            })
+            .collect(),
+        ..p10_obs::Summary::default()
+    };
+    p10_obs::ledger::RunRecord::from_summary(
+        &p10_obs::ledger::RunIdentity {
+            experiment: "all".into(),
+            config_text: "jobs=2".into(),
+            workload_text: "all|ops=2000".into(),
+            sampling_key: "exact".into(),
+            ops: 2000,
+            jobs: 2,
+            started_unix_ms: 1_700_000_000_000,
+        },
+        summary,
+    )
+}
+
+#[test]
+fn obsreport_gate_fails_on_synthetically_slowed_run() {
+    let dir = scratch("gate", "");
+    let baseline = synthetic_record(&[("fig2", 0.5), ("fig4", 1.5)]);
+    let slowed = synthetic_record(&[("fig2", 0.5), ("fig4", 4.5)]);
+    p10_obs::ledger::append(&dir, &baseline).expect("append baseline");
+    p10_obs::ledger::append(&dir, &slowed).expect("append slowed");
+    let report = |gate: &str| {
+        figures()
+            .args(["obsreport", "--gate", gate, "--ledger-dir"])
+            .arg(&dir)
+            .output()
+            .expect("run obsreport")
+    };
+    let out = report("50");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "slowed run must fail the gate: {stdout}"
+    );
+    assert!(
+        stdout.contains("gate: FAIL"),
+        "missing FAIL verdict: {stdout}"
+    );
+    assert!(
+        stdout.contains("REGRESSION total") && stdout.contains("REGRESSION fig4"),
+        "regressed phases must be named: {stdout}"
+    );
+    // Appending a recovered run flips the verdict back to PASS.
+    let recovered = synthetic_record(&[("fig2", 0.5), ("fig4", 1.5)]);
+    p10_obs::ledger::append(&dir, &recovered).expect("append recovered");
+    let out = report("50");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "recovered run must pass: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn stdout_is_byte_identical_with_flight_recorder_enabled() {
+    // The acceptance invariant: ledger + Chrome trace + obs-json must
+    // have zero effect on experiment stdout.
+    let plain = figures()
+        .args(["table1", "--ops", "800", "--no-cache", "--no-ledger"])
+        .output()
+        .expect("plain run");
+    assert!(plain.status.success(), "plain run failed: {plain:?}");
+    let instrumented = figures()
+        .args(["table1", "--ops", "800", "--no-cache", "--ledger-dir"])
+        .arg(scratch("ident", ""))
+        .args(["--trace-format", "chrome", "--trace-out"])
+        .arg(scratch("ident-trace", "trace.json"))
+        .arg("--obs-json")
+        .arg(scratch("ident-obs", "obs.json"))
+        .output()
+        .expect("instrumented run");
+    assert!(
+        instrumented.status.success(),
+        "instrumented run failed: {instrumented:?}"
+    );
+    assert_eq!(
+        plain.stdout, instrumented.stdout,
+        "flight-recorder outputs must not perturb stdout"
+    );
+}
+
+#[test]
+fn gate_flag_outside_obsreport_fails_loudly() {
+    assert_usage_error(&["table1", "--gate", "50"], "--gate/--baseline");
+    assert_usage_error(&["obsreport", "--gate", "many"], "invalid --gate");
+}

@@ -148,29 +148,43 @@ impl Engine {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
+            let start = Instant::now();
             let out: Vec<R> = items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
             if n > 0 {
                 p10_obs::counter("engine.worker00.jobs", n as u64);
+                p10_obs::counter(
+                    "engine.worker00.busy_us",
+                    (start.elapsed().as_secs_f64() * 1e6) as u64,
+                );
             }
             return out;
         }
+        let pool_start = Instant::now();
         let next = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
         std::thread::scope(|s| {
             for w in 0..workers {
                 let (next, slots, f) = (&next, &slots, &f);
                 s.spawn(move || {
+                    p10_obs::set_thread_name(&format!("worker{w:02}"));
                     let mut done = 0u64;
+                    let mut busy_us = 0u64;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
+                        // How long the job sat queued before a worker
+                        // picked it up (all jobs enqueue at pool start).
+                        p10_obs::observe("runner.queue_wait", pool_start.elapsed().as_secs_f64());
+                        let job_start = Instant::now();
                         let r = f(i, &items[i]);
+                        busy_us += (job_start.elapsed().as_secs_f64() * 1e6) as u64;
                         *slots[i].lock().expect("result slot poisoned") = Some(r);
                         done += 1;
                     }
                     p10_obs::counter(&format!("engine.worker{w:02}.jobs"), done);
+                    p10_obs::counter(&format!("engine.worker{w:02}.busy_us"), busy_us);
                 });
             }
         });
@@ -211,7 +225,9 @@ impl Engine {
             return hit;
         }
         let start = Instant::now();
+        let sp = p10_obs::event_span(&format!("job:{label}"));
         let value = compute();
+        sp.finish();
         let secs = start.elapsed().as_secs_f64();
         self.stats.computes.fetch_add(1, Ordering::Relaxed);
         p10_obs::counter("cache.computes", 1);

@@ -399,6 +399,7 @@ fn simulate_interval(
     warmup_ops: usize,
     state: &WarmState,
 ) -> RepMeasurement {
+    let _sp = p10_obs::event_span(&format!("interval:{idx}"));
     let run = |slices: Vec<TraceView>| -> SimResult {
         let ops: u64 = slices.iter().map(|s| s.len() as u64).sum();
         Core::with_state(cfg.clone(), state.clone()).run(slices, ops * 8 + 100_000)

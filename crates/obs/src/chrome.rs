@@ -1,0 +1,303 @@
+//! Chrome trace-event rendering: the mapping from recorded
+//! [`TraceEvent`]s to a `chrome://tracing`/Perfetto-loadable file.
+//!
+//! The output is the JSON Object Format — `{"traceEvents": [...]}` — and
+//! is always complete, valid JSON (written once by [`crate::finalize`],
+//! never streamed). The mapping:
+//!
+//! * [`EventKind::Span`] → a complete slice (`"ph":"X"`) whose `ts` is
+//!   the span start (`t_us - dur_us`) and `dur` its microseconds. Both
+//!   aggregated phases (`span!`) and sink-only [`crate::event_span`]s
+//!   (runner jobs, trace-arena syntheses, sampled detailed intervals)
+//!   land here; the `cat` field keeps them filterable (`job` / `synth` /
+//!   `interval` name prefixes; everything else is a `phase`).
+//! * [`EventKind::Count`] → a counter sample (`"ph":"C"`) carrying the
+//!   *cumulative* total of that counter in global time order, so cache
+//!   hits and arena traffic render as rising counter tracks.
+//! * [`EventKind::Gauge`] → a counter sample with the raw value (hit
+//!   rates, coverage).
+//! * [`EventKind::Mark`] → an instant event (`"ph":"i"`).
+//!
+//! Tracks are `(pid, tid)` pairs; every event carries `pid` 1 and the
+//! recording thread's id as `tid`. Threads named via
+//! [`crate::set_thread_name`] get a `thread_name` metadata event, and
+//! threads *sharing* a name are remapped onto one canonical tid — the
+//! runner's scoped pools spawn fresh OS threads per invocation, and this
+//! folds every incarnation of `worker03` onto a single track. Events are
+//! sorted by `(tid, ts)`, so each track's timestamps are monotonically
+//! non-decreasing.
+
+use crate::{EventKind, TraceEvent};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+
+/// The single process id every event is filed under.
+pub const PID: u64 = 1;
+
+/// `cat` assigned to a span from its name's conventional prefix.
+fn category(name: &str) -> &'static str {
+    match name.split(':').next() {
+        Some("job") => "job",
+        Some("synth") => "synth",
+        Some("interval") => "interval",
+        _ => "phase",
+    }
+}
+
+/// Renders recorded events (plus the thread-name table) as a complete
+/// Chrome trace-event JSON document.
+#[must_use]
+pub fn render(events: &[TraceEvent], thread_names: &BTreeMap<u64, String>) -> String {
+    // Threads sharing a name collapse onto the first (smallest) tid seen
+    // with that name; unnamed threads keep their own id.
+    let mut canonical_of_name: BTreeMap<&str, u64> = BTreeMap::new();
+    for (&tid, name) in thread_names {
+        canonical_of_name.entry(name.as_str()).or_insert(tid);
+    }
+    let track_of = |thread: u64| -> u64 {
+        thread_names
+            .get(&thread)
+            .map_or(thread, |name| canonical_of_name[name.as_str()])
+    };
+
+    // Counter events carry cumulative totals, accumulated in global
+    // time order (drains interleave threads, so sort first).
+    let mut order: Vec<usize> = (0..events.len()).collect();
+    order.sort_by_key(|&i| (events[i].t_us, i));
+
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut rows: Vec<(u64, u64, Value)> = Vec::with_capacity(events.len());
+    for &i in &order {
+        let e = &events[i];
+        let tid = track_of(e.thread);
+        match &e.kind {
+            EventKind::Span { name, dur_us } => {
+                let ts = e.t_us.saturating_sub(*dur_us);
+                rows.push((
+                    tid,
+                    ts,
+                    json!({
+                        "ph": "X", "pid": PID, "tid": tid, "ts": ts,
+                        "dur": dur_us, "name": name, "cat": category(name),
+                    }),
+                ));
+            }
+            EventKind::Count { name, delta } => {
+                let total = totals.entry(name.as_str()).or_insert(0);
+                *total += delta;
+                rows.push((
+                    tid,
+                    e.t_us,
+                    json!({
+                        "ph": "C", "pid": PID, "tid": tid, "ts": e.t_us,
+                        "name": name, "args": {"value": *total},
+                    }),
+                ));
+            }
+            EventKind::Gauge { name, value } => rows.push((
+                tid,
+                e.t_us,
+                json!({
+                    "ph": "C", "pid": PID, "tid": tid, "ts": e.t_us,
+                    "name": name, "args": {"value": value},
+                }),
+            )),
+            EventKind::Mark { name, detail } => rows.push((
+                tid,
+                e.t_us,
+                json!({
+                    "ph": "i", "pid": PID, "tid": tid, "ts": e.t_us,
+                    "name": name, "s": "t", "args": {"detail": detail},
+                }),
+            )),
+        }
+    }
+    rows.sort_by_key(|&(tid, ts, _)| (tid, ts));
+
+    // Metadata first (one thread_name per canonical track), then the
+    // track-sorted events.
+    let mut out: Vec<Value> = canonical_of_name
+        .iter()
+        .map(|(name, &tid)| {
+            json!({
+                "ph": "M", "pid": PID, "tid": tid, "ts": 0,
+                "name": "thread_name", "args": {"name": *name},
+            })
+        })
+        .collect();
+    out.extend(rows.into_iter().map(|(_, _, v)| v));
+    serde_json::to_string(&json!({
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+    }))
+    .expect("chrome trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t_us: u64, thread: u64, kind: EventKind) -> TraceEvent {
+        TraceEvent { t_us, thread, kind }
+    }
+
+    fn span(name: &str, dur_us: u64) -> EventKind {
+        EventKind::Span {
+            name: name.into(),
+            dur_us,
+        }
+    }
+
+    /// Parses a render and returns the traceEvents array.
+    fn trace_events(text: &str) -> Vec<Value> {
+        let doc = serde_json::parse(text).expect("chrome trace parses as JSON");
+        doc.get("traceEvents")
+            .and_then(Value::as_array)
+            .expect("traceEvents array")
+            .to_vec()
+    }
+
+    fn field_u64(v: &Value, key: &str) -> u64 {
+        match v.get(key) {
+            Some(Value::U64(n)) => *n,
+            other => panic!("field {key} must be u64, got {other:?}"),
+        }
+    }
+
+    fn field_str<'a>(v: &'a Value, key: &str) -> &'a str {
+        match v.get(key) {
+            Some(Value::Str(s)) => s,
+            other => panic!("field {key} must be a string, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renders_valid_json_with_monotonic_ts_per_track() {
+        let events = vec![
+            ev(
+                50,
+                1,
+                EventKind::Count {
+                    name: "cache.hits".into(),
+                    delta: 2,
+                },
+            ),
+            ev(900, 0, span("fig2", 880)),
+            ev(400, 1, span("job:mcfish @ P10", 300)),
+            ev(
+                10,
+                1,
+                EventKind::Mark {
+                    name: "job".into(),
+                    detail: "disk hit".into(),
+                },
+            ),
+            ev(
+                60,
+                2,
+                EventKind::Count {
+                    name: "cache.hits".into(),
+                    delta: 3,
+                },
+            ),
+            ev(
+                70,
+                0,
+                EventKind::Gauge {
+                    name: "trace.arena.hit_rate".into(),
+                    value: 0.75,
+                },
+            ),
+        ];
+        let mut names = BTreeMap::new();
+        names.insert(0, "main".to_owned());
+        let text = render(&events, &names);
+        let rows = trace_events(&text);
+        assert!(!rows.is_empty());
+        let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+        for row in &rows {
+            let tid = field_u64(row, "tid");
+            let ts = field_u64(row, "ts");
+            let prev = last_ts.entry(tid).or_insert(0);
+            assert!(ts >= *prev, "ts must be monotonic per track: {row:?}");
+            *prev = ts;
+            assert_eq!(field_u64(row, "pid"), PID);
+        }
+    }
+
+    #[test]
+    fn spans_become_complete_slices_with_start_ts() {
+        let events = vec![ev(900, 0, span("fig2", 880))];
+        let rows = trace_events(&render(&events, &BTreeMap::new()));
+        let x = rows
+            .iter()
+            .find(|r| field_str(r, "ph") == "X")
+            .expect("slice present");
+        assert_eq!(field_u64(x, "ts"), 20, "ts is span start");
+        assert_eq!(field_u64(x, "dur"), 880);
+        assert_eq!(field_str(x, "name"), "fig2");
+        assert_eq!(field_str(x, "cat"), "phase");
+    }
+
+    #[test]
+    fn counters_accumulate_in_time_order_across_threads() {
+        let events = vec![
+            ev(
+                60,
+                2,
+                EventKind::Count {
+                    name: "cache.hits".into(),
+                    delta: 3,
+                },
+            ),
+            ev(
+                50,
+                1,
+                EventKind::Count {
+                    name: "cache.hits".into(),
+                    delta: 2,
+                },
+            ),
+        ];
+        let rows = trace_events(&render(&events, &BTreeMap::new()));
+        let values: Vec<u64> = rows
+            .iter()
+            .filter(|r| field_str(r, "ph") == "C")
+            .map(|r| field_u64(r.get("args").expect("args"), "value"))
+            .collect();
+        assert_eq!(values.len(), 2);
+        assert!(values.contains(&2) && values.contains(&5), "{values:?}");
+    }
+
+    #[test]
+    fn same_named_threads_fold_onto_one_track() {
+        // Two OS threads both named worker00 (successive pools) merge.
+        let events = vec![ev(10, 3, span("job:a", 5)), ev(30, 7, span("job:b", 5))];
+        let mut names = BTreeMap::new();
+        names.insert(3, "worker00".to_owned());
+        names.insert(7, "worker00".to_owned());
+        let rows = trace_events(&render(&events, &names));
+        let tids: Vec<u64> = rows
+            .iter()
+            .filter(|r| field_str(r, "ph") == "X")
+            .map(|r| field_u64(r, "tid"))
+            .collect();
+        assert_eq!(tids, vec![3, 3], "both jobs land on the canonical tid");
+        let meta: Vec<&Value> = rows.iter().filter(|r| field_str(r, "ph") == "M").collect();
+        assert_eq!(meta.len(), 1, "one thread_name per merged track");
+        assert_eq!(field_u64(meta[0], "tid"), 3);
+        assert_eq!(
+            field_str(meta[0].get("args").expect("args"), "name"),
+            "worker00"
+        );
+    }
+
+    #[test]
+    fn categories_follow_name_prefixes() {
+        assert_eq!(category("job:mcfish @ P10"), "job");
+        assert_eq!(category("synth:00ab cap=60000"), "synth");
+        assert_eq!(category("interval:12"), "interval");
+        assert_eq!(category("fig4"), "phase");
+        assert_eq!(category("fig6 resnet50 ops=30000"), "phase");
+    }
+}

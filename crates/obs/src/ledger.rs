@@ -1,0 +1,609 @@
+//! The persistent run ledger: durable, queryable flight records.
+//!
+//! Every `figures` run appends one [`RunRecord`] — a single JSON line —
+//! to `<ledger dir>/ledger.jsonl`. The record makes everything the
+//! `[obs]` stderr summary prints durable: experiment identity
+//! (content-addressed config/workload/sampling keys), machine and build
+//! metadata, per-phase wall times, cache and trace-arena traffic,
+//! sampling coverage, and per-worker job/busy-time breakdowns. Wall-clock
+//! data lives *only* here and on stderr — experiment stdout stays
+//! byte-identical whether the ledger is on or off.
+//!
+//! On top of the history sit [`comparable`] (which prior runs are
+//! apples-to-apples with the latest) and [`gate`] (the perf-regression
+//! check behind `figures obsreport --gate PCT`).
+//!
+//! Appends are one `write` call of one line to a file opened in append
+//! mode, so concurrent runs interleave whole records; [`read`] skips any
+//! line that fails to parse (torn writes, foreign schema) rather than
+//! failing the whole history.
+
+use crate::Summary;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Schema version stamped into every record.
+pub const SCHEMA: u32 = 1;
+
+/// File name of the append-only ledger inside the ledger directory.
+pub const LEDGER_FILE: &str = "ledger.jsonl";
+
+/// Where the run ledger lives: `P10SIM_LEDGER` if set, else
+/// `target/p10sim-ledger`.
+#[must_use]
+pub fn default_dir() -> PathBuf {
+    std::env::var_os("P10SIM_LEDGER")
+        .map_or_else(|| Path::new("target").join("p10sim-ledger"), PathBuf::from)
+}
+
+/// 64-bit FNV-1a over a string, rendered as 16 hex digits — the
+/// content-addressing primitive for run/config/workload keys (stable
+/// across runs and Rust versions, unlike `DefaultHasher`).
+#[must_use]
+pub fn content_key(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The machine a run executed on.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineInfo {
+    /// Host name (`HOSTNAME`/`HOST` env; `unknown` when absent).
+    pub host: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available CPUs at run time.
+    pub cpus: u64,
+}
+
+impl MachineInfo {
+    /// Detects the current machine.
+    #[must_use]
+    pub fn detect() -> Self {
+        MachineInfo {
+            host: std::env::var("HOSTNAME")
+                .or_else(|_| std::env::var("HOST"))
+                .unwrap_or_else(|_| "unknown".to_owned()),
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            cpus: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        }
+    }
+}
+
+/// The build that produced a run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildInfo {
+    /// Workspace package version.
+    pub version: String,
+    /// `debug` or `release` (from `debug_assertions`).
+    pub profile: String,
+}
+
+impl BuildInfo {
+    /// Detects the current build.
+    #[must_use]
+    pub fn detect() -> Self {
+        BuildInfo {
+            version: env!("CARGO_PKG_VERSION").to_owned(),
+            profile: if cfg!(debug_assertions) {
+                "debug".to_owned()
+            } else {
+                "release".to_owned()
+            },
+        }
+    }
+}
+
+/// Result-cache traffic for one run (from the `cache.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheTraffic {
+    /// In-process memo hits.
+    pub memo_hits: u64,
+    /// On-disk cache hits.
+    pub disk_hits: u64,
+    /// Points actually simulated.
+    pub computes: u64,
+    /// Corrupt disk entries healed by recompute.
+    pub disk_decode_errors: u64,
+}
+
+impl CacheTraffic {
+    /// Fraction of cacheable lookups served by either cache layer.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.disk_hits + self.computes;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                (self.memo_hits + self.disk_hits) as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Trace-arena traffic for one run (from the `trace.arena.*` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArenaTraffic {
+    /// Requests served zero-copy from a cached buffer.
+    pub hits: u64,
+    /// Requests that synthesized.
+    pub misses: u64,
+    /// Bytes of op storage synthesized.
+    pub bytes: u64,
+    /// `hits / (hits + misses)` (0 when the arena saw no traffic).
+    pub hit_rate: f64,
+}
+
+/// Sampled-execution activity for one run (from the `sim.sample.*`
+/// counters); all zero in exact mode.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SamplingActivity {
+    /// Trace intervals partitioned.
+    pub intervals: u64,
+    /// Clusters selected.
+    pub clusters: u64,
+    /// Ops simulated in detail.
+    pub simulated_ops: u64,
+    /// Ops reconstituted from representatives.
+    pub skipped_ops: u64,
+    /// `simulated / (simulated + skipped)` (1.0 when nothing sampled).
+    pub coverage: f64,
+}
+
+/// One runner worker slot's activity for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerStat {
+    /// Slot name (`worker00`, `worker01`, ...).
+    pub worker: String,
+    /// Jobs completed by the slot.
+    pub jobs: u64,
+    /// Seconds spent inside jobs.
+    pub busy_s: f64,
+    /// `busy_s` over the run's total wall time.
+    pub busy_frac: f64,
+}
+
+/// One durable flight record: everything the `[obs]` summary prints,
+/// plus run identity and provenance. Appended as one JSON line per
+/// `figures` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Record schema version ([`SCHEMA`]).
+    pub schema: u32,
+    /// Content-addressed run id (experiment + keys + start time + pid).
+    pub run_id: String,
+    /// Experiment selector that ran (`all`, `fig4`, ...).
+    pub experiment: String,
+    /// Content key of the resolved engine/trace configuration.
+    pub config_key: String,
+    /// Content key of the workload surface (experiment list + op budget).
+    pub workload_key: String,
+    /// Sampling mode text (`exact`, `simpoints:I:K:W`, ...).
+    pub sampling_key: String,
+    /// Op budget per workload.
+    pub ops: u64,
+    /// Resolved worker-pool width.
+    pub jobs: u64,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Total run wall time in seconds.
+    pub wall_s: f64,
+    /// Machine metadata.
+    pub machine: MachineInfo,
+    /// Build metadata.
+    pub build: BuildInfo,
+    /// Result-cache traffic.
+    pub cache: CacheTraffic,
+    /// Trace-arena traffic.
+    pub arena: ArenaTraffic,
+    /// Sampled-execution activity.
+    pub sampling: SamplingActivity,
+    /// Per-worker job/busy-time breakdown.
+    pub workers: Vec<WorkerStat>,
+    /// The full end-of-run aggregate (phases, counters, gauges,
+    /// histograms) — the queryable superset of the fields above.
+    pub summary: Summary,
+}
+
+/// Identity fields for building a [`RunRecord`] (everything not derived
+/// from the [`Summary`]).
+#[derive(Debug, Clone)]
+pub struct RunIdentity {
+    /// Experiment selector (`all`, `fig4`, ...).
+    pub experiment: String,
+    /// Pre-hash text of the resolved configuration.
+    pub config_text: String,
+    /// Pre-hash text of the workload surface.
+    pub workload_text: String,
+    /// Sampling mode text.
+    pub sampling_key: String,
+    /// Op budget per workload.
+    pub ops: u64,
+    /// Resolved worker-pool width.
+    pub jobs: u64,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+}
+
+impl RunRecord {
+    /// Builds a record from run identity plus the end-of-run [`Summary`],
+    /// deriving the cache/arena/sampling/worker sections from the
+    /// summary's counters.
+    #[must_use]
+    pub fn from_summary(id: &RunIdentity, summary: Summary) -> Self {
+        let counter = |name: &str| -> u64 {
+            summary
+                .counters
+                .iter()
+                .find(|c| c.name == name)
+                .map_or(0, |c| c.value)
+        };
+        #[allow(clippy::cast_precision_loss)]
+        let rate = |num: u64, den: u64, empty: f64| -> f64 {
+            if den == 0 {
+                empty
+            } else {
+                num as f64 / den as f64
+            }
+        };
+        let arena_hits = counter("trace.arena.hits");
+        let arena_misses = counter("trace.arena.misses");
+        let simulated = counter("sim.sample.simulated_ops");
+        let skipped = counter("sim.sample.skipped_ops");
+        let wall_s = summary.total_wall_s;
+        let mut workers = Vec::new();
+        for c in &summary.counters {
+            let Some(rest) = c.name.strip_prefix("engine.") else {
+                continue;
+            };
+            let Some(slot) = rest.strip_suffix(".jobs") else {
+                continue;
+            };
+            let busy_s = counter(&format!("engine.{slot}.busy_us")) as f64 / 1e6;
+            workers.push(WorkerStat {
+                worker: slot.to_owned(),
+                jobs: c.value,
+                busy_s,
+                busy_frac: if wall_s > 0.0 { busy_s / wall_s } else { 0.0 },
+            });
+        }
+        let config_key = content_key(&id.config_text);
+        let workload_key = content_key(&id.workload_text);
+        let run_id = content_key(&format!(
+            "{}|{}|{}|{}|{}|{}",
+            id.experiment,
+            config_key,
+            workload_key,
+            id.sampling_key,
+            id.started_unix_ms,
+            std::process::id()
+        ));
+        RunRecord {
+            schema: SCHEMA,
+            run_id,
+            experiment: id.experiment.clone(),
+            config_key,
+            workload_key,
+            sampling_key: id.sampling_key.clone(),
+            ops: id.ops,
+            jobs: id.jobs,
+            started_unix_ms: id.started_unix_ms,
+            wall_s,
+            machine: MachineInfo::detect(),
+            build: BuildInfo::detect(),
+            cache: CacheTraffic {
+                memo_hits: counter("cache.memo_hits"),
+                disk_hits: counter("cache.disk_hits"),
+                computes: counter("cache.computes"),
+                disk_decode_errors: counter("cache.disk_decode_errors"),
+            },
+            arena: ArenaTraffic {
+                hits: arena_hits,
+                misses: arena_misses,
+                bytes: counter("trace.arena.bytes"),
+                hit_rate: rate(arena_hits, arena_hits + arena_misses, 0.0),
+            },
+            sampling: SamplingActivity {
+                intervals: counter("sim.sample.intervals"),
+                clusters: counter("sim.sample.clusters"),
+                simulated_ops: simulated,
+                skipped_ops: skipped,
+                coverage: rate(simulated, simulated + skipped, 1.0),
+            },
+            workers,
+            summary,
+        }
+    }
+
+    /// Wall seconds of the named phase, if the run recorded it.
+    #[must_use]
+    pub fn phase_wall_s(&self, name: &str) -> Option<f64> {
+        self.summary
+            .phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.wall_s)
+    }
+}
+
+/// Appends one record to `dir/ledger.jsonl` (creating the directory as
+/// needed) and returns the ledger path. One line, one `write` call.
+///
+/// # Errors
+///
+/// Propagates directory-creation, serialization, and write failures.
+pub fn append(dir: &Path, record: &RunRecord) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(LEDGER_FILE);
+    let line = serde_json::to_string(record)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)?;
+    f.write_all(format!("{line}\n").as_bytes())?;
+    Ok(path)
+}
+
+/// Reads the full run history from `dir/ledger.jsonl`, oldest first.
+/// A missing ledger is an empty history; lines that fail to parse
+/// (torn concurrent writes, foreign schemas) are skipped.
+///
+/// # Errors
+///
+/// Propagates read failures other than the file not existing.
+pub fn read(dir: &Path) -> std::io::Result<Vec<RunRecord>> {
+    let path = dir.join(LEDGER_FILE);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    Ok(text
+        .lines()
+        .filter_map(|l| serde_json::from_str::<RunRecord>(l).ok())
+        .collect())
+}
+
+/// The prior runs that are apples-to-apples with `latest`: same
+/// experiment selector, op budget, and sampling mode. (Config keys may
+/// differ across machines — worker counts — without breaking wall-time
+/// comparability, so they are reported but not filtered on.)
+#[must_use]
+pub fn comparable<'a>(prior: &'a [RunRecord], latest: &RunRecord) -> Vec<&'a RunRecord> {
+    prior
+        .iter()
+        .filter(|r| {
+            r.experiment == latest.experiment
+                && r.ops == latest.ops
+                && r.sampling_key == latest.sampling_key
+        })
+        .collect()
+}
+
+/// One gated wall-time regression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regression {
+    /// `total`, or the regressed experiment phase's name.
+    pub phase: String,
+    /// Baseline wall seconds.
+    pub baseline_s: f64,
+    /// Latest wall seconds.
+    pub latest_s: f64,
+    /// `(latest/baseline - 1) * 100`.
+    pub delta_pct: f64,
+}
+
+/// The perf gate: compares `latest` against `baseline` and returns every
+/// wall-time regression beyond `pct` percent — the total, and each phase
+/// present in both runs. Deltas smaller than `min_s` seconds are noise
+/// and never gate, whatever their percentage (short phases jitter).
+/// An empty result is a pass.
+#[must_use]
+pub fn gate(baseline: &RunRecord, latest: &RunRecord, pct: f64, min_s: f64) -> Vec<Regression> {
+    let mut out = Vec::new();
+    let mut check = |phase: &str, base: f64, new: f64| {
+        if new > base * (1.0 + pct / 100.0) && new - base > min_s {
+            out.push(Regression {
+                phase: phase.to_owned(),
+                baseline_s: base,
+                latest_s: new,
+                delta_pct: if base > 0.0 {
+                    (new / base - 1.0) * 100.0
+                } else {
+                    f64::INFINITY
+                },
+            });
+        }
+    };
+    check("total", baseline.wall_s, latest.wall_s);
+    for p in &latest.summary.phases {
+        if let Some(base) = baseline.phase_wall_s(&p.name) {
+            check(&p.name, base, p.wall_s);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterSummary, PhaseSummary};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static UNIQ: AtomicU32 = AtomicU32::new(0);
+        let d = std::env::temp_dir().join(format!(
+            "p10sim-ledger-{tag}-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn summary_with(phases: &[(&str, f64)], counters: &[(&str, u64)]) -> Summary {
+        Summary {
+            total_wall_s: phases.iter().map(|(_, w)| w).sum(),
+            phases: phases
+                .iter()
+                .map(|&(name, wall_s)| PhaseSummary {
+                    name: name.into(),
+                    wall_s,
+                    calls: 1,
+                })
+                .collect(),
+            counters: counters
+                .iter()
+                .map(|&(name, value)| CounterSummary {
+                    name: name.into(),
+                    value,
+                })
+                .collect(),
+            gauges: vec![],
+            histograms: vec![],
+        }
+    }
+
+    fn identity(experiment: &str) -> RunIdentity {
+        RunIdentity {
+            experiment: experiment.into(),
+            config_text: "jobs=2|cache=on".into(),
+            workload_text: "all|ops=2000".into(),
+            sampling_key: "exact".into(),
+            ops: 2000,
+            jobs: 2,
+            started_unix_ms: 1_700_000_000_000,
+        }
+    }
+
+    fn record(experiment: &str, phases: &[(&str, f64)]) -> RunRecord {
+        RunRecord::from_summary(
+            &identity(experiment),
+            summary_with(
+                phases,
+                &[
+                    ("cache.memo_hits", 3),
+                    ("cache.disk_hits", 1),
+                    ("cache.computes", 4),
+                    ("trace.arena.hits", 6),
+                    ("trace.arena.misses", 2),
+                    ("engine.worker00.jobs", 5),
+                    ("engine.worker00.busy_us", 500_000),
+                    ("engine.worker01.jobs", 3),
+                    ("engine.worker01.busy_us", 250_000),
+                ],
+            ),
+        )
+    }
+
+    #[test]
+    fn run_record_round_trips_through_serde() {
+        let r = record("all", &[("fig2", 0.5), ("fig4", 1.5)]);
+        let line = serde_json::to_string(&r).expect("serialize");
+        assert!(!line.contains('\n'), "one record must be one line");
+        let back: RunRecord = serde_json::from_str(&line).expect("parse");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_summary_derives_traffic_and_workers() {
+        let r = record("all", &[("fig2", 0.5), ("fig4", 1.5)]);
+        assert_eq!(r.schema, SCHEMA);
+        assert_eq!(r.cache.memo_hits, 3);
+        assert_eq!(r.cache.computes, 4);
+        assert!((r.cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(r.arena.hits, 6);
+        assert!((r.arena.hit_rate - 0.75).abs() < 1e-12);
+        assert!((r.sampling.coverage - 1.0).abs() < 1e-12, "exact => 1.0");
+        assert_eq!(r.workers.len(), 2);
+        let w0 = &r.workers[0];
+        assert_eq!((w0.worker.as_str(), w0.jobs), ("worker00", 5));
+        assert!((w0.busy_s - 0.5).abs() < 1e-12);
+        assert!((w0.busy_frac - 0.25).abs() < 1e-12, "0.5s of 2.0s wall");
+        assert_eq!(r.phase_wall_s("fig4"), Some(1.5));
+        assert_eq!(r.phase_wall_s("fig9"), None);
+        assert_eq!(r.config_key, content_key("jobs=2|cache=on"));
+    }
+
+    #[test]
+    fn ledger_appends_and_reads_back_across_runs() {
+        let dir = scratch_dir("appendread");
+        assert_eq!(read(&dir).expect("missing ledger reads empty"), vec![]);
+        let a = record("all", &[("fig2", 0.5)]);
+        let b = record("all", &[("fig2", 0.4)]);
+        let c = record("fig4", &[("fig4", 1.0)]);
+        for r in [&a, &b, &c] {
+            append(&dir, r).expect("append");
+        }
+        let runs = read(&dir).expect("read back");
+        assert_eq!(runs, vec![a.clone(), b.clone(), c.clone()]);
+        // A torn/corrupt line is skipped, not fatal.
+        let path = dir.join(LEDGER_FILE);
+        let mut text = std::fs::read_to_string(&path).expect("ledger text");
+        text.push_str("{\"torn\":");
+        std::fs::write(&path, text).expect("plant torn line");
+        assert_eq!(read(&dir).expect("read with torn line").len(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn comparable_filters_on_experiment_ops_and_sampling() {
+        let latest = record("all", &[("fig2", 0.4)]);
+        let same = record("all", &[("fig2", 0.5)]);
+        let other_exp = record("fig4", &[("fig4", 1.0)]);
+        let mut other_ops = record("all", &[("fig2", 0.5)]);
+        other_ops.ops = 60_000;
+        let mut other_mode = record("all", &[("fig2", 0.5)]);
+        other_mode.sampling_key = "simpoints:100:4:12".into();
+        let prior = vec![same.clone(), other_exp, other_ops, other_mode];
+        let pool = comparable(&prior, &latest);
+        assert_eq!(pool, vec![&same]);
+    }
+
+    #[test]
+    fn gate_fails_a_synthetically_slowed_run_and_passes_a_repeat() {
+        let baseline = record("all", &[("fig2", 0.5), ("fig4", 1.5)]);
+        // Repeat run with noise-level jitter: passes a 50% gate.
+        let repeat = record("all", &[("fig2", 0.55), ("fig4", 1.45)]);
+        assert_eq!(gate(&baseline, &repeat, 50.0, 0.05), vec![]);
+        // Synthetically slowed run: total and fig4 both regress.
+        let slowed = record("all", &[("fig2", 0.5), ("fig4", 3.5)]);
+        let regs = gate(&baseline, &slowed, 50.0, 0.05);
+        let phases: Vec<&str> = regs.iter().map(|r| r.phase.as_str()).collect();
+        assert_eq!(phases, vec!["total", "fig4"]);
+        assert!((regs[0].delta_pct - 100.0).abs() < 1e-9);
+        // Faster runs never gate.
+        let faster = record("all", &[("fig2", 0.1), ("fig4", 0.2)]);
+        assert_eq!(gate(&baseline, &faster, 0.0, 0.0), vec![]);
+    }
+
+    #[test]
+    fn gate_min_s_floor_suppresses_short_phase_jitter() {
+        let baseline = record("all", &[("fig2", 0.010)]);
+        // 3x slower but only 20ms absolute: below the 50ms noise floor.
+        let jitter = record("all", &[("fig2", 0.030)]);
+        assert_eq!(gate(&baseline, &jitter, 50.0, 0.05), vec![]);
+        // The same ratio above the floor gates.
+        let real = record("all", &[("fig2", 3.0)]);
+        assert_eq!(gate(&baseline, &real, 50.0, 0.05).len(), 2);
+    }
+
+    #[test]
+    fn content_key_is_stable() {
+        assert_eq!(content_key(""), "cbf29ce484222325");
+        assert_eq!(content_key("a"), "af63dc4c8601ec8c");
+        assert_eq!(content_key("a"), content_key("a"));
+        assert_ne!(content_key("a"), content_key("b"));
+    }
+}

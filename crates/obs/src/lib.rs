@@ -11,11 +11,19 @@
 //!   and aggregate into a per-phase wall-time table.
 //! * **Counters / gauges / histograms** aggregate named metrics (cache
 //!   hits, jobs per worker, per-job compute seconds, ...).
-//! * **A JSON-lines sink** ([`init`] with a trace path, driven by
+//! * **A trace sink** ([`init`] with a trace path, driven by
 //!   `figures --trace-out` or `P10SIM_TRACE`) records every span, counter
-//!   increment, gauge and mark as one [`TraceEvent`] per line.
+//!   increment, gauge and mark — either as one [`TraceEvent`] JSON line
+//!   ([`TraceFormat::JsonLines`], the default) or as a Chrome
+//!   trace-event file loadable in `chrome://tracing`/Perfetto
+//!   ([`TraceFormat::Chrome`], one track per named worker thread; see
+//!   [`chrome`]). Chrome traces buffer in memory and are written by
+//!   [`finalize`].
 //! * **[`summary`]/[`render_summary`]** produce the end-of-run table the
 //!   `figures` driver prints on stderr.
+//! * **[`ledger`]** makes runs durable: one append-only JSON-lines
+//!   [`ledger::RunRecord`] per `figures` run, with trend reporting and
+//!   perf-regression gating on top (`figures obsreport`).
 //!
 //! ## Threading model
 //!
@@ -32,6 +40,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod ledger;
+
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -42,12 +53,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+/// On-disk format of the trace sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceFormat {
+    /// One [`TraceEvent`] JSON object per line, streamed as recorded.
+    #[default]
+    JsonLines,
+    /// A Chrome trace-event file (`chrome://tracing` / Perfetto).
+    /// Events buffer in memory and are written by [`finalize`].
+    Chrome,
+}
+
 /// How the process-wide recorder behaves.
 #[derive(Debug, Clone, Default)]
 pub struct ObsConfig {
-    /// Write every recorded event as one JSON line to this file.
-    /// `None` disables event recording (metrics still aggregate).
+    /// Write every recorded event to this file. `None` disables event
+    /// recording (metrics still aggregate).
     pub trace_path: Option<PathBuf>,
+    /// Format of the trace file (JSON lines unless asked otherwise).
+    pub trace_format: TraceFormat,
 }
 
 /// One recorded event, as written to the JSON-lines trace sink.
@@ -235,12 +259,29 @@ struct Agg {
     hists: BTreeMap<String, HistSummary>,
 }
 
+enum Sink {
+    /// Streamed: each drained event becomes one JSON line immediately.
+    JsonLines(Mutex<BufWriter<File>>),
+    /// Buffered: events accumulate until [`finalize`] sorts them into
+    /// tracks and writes the complete trace-event file (the format needs
+    /// a closing bracket, so it cannot stream).
+    Chrome(Mutex<ChromeBuf>),
+}
+
+struct ChromeBuf {
+    path: PathBuf,
+    events: Vec<TraceEvent>,
+    written: bool,
+}
+
 struct Recorder {
     start: Instant,
-    sink: Option<Mutex<BufWriter<File>>>,
+    sink: Option<Sink>,
     agg: Mutex<Agg>,
     progress_seq: AtomicU64,
+    progress_lock: Mutex<()>,
     next_thread_id: AtomicU64,
+    thread_names: Mutex<BTreeMap<u64, String>>,
 }
 
 impl Recorder {
@@ -249,7 +290,14 @@ impl Recorder {
             .trace_path
             .as_ref()
             .and_then(|p| match File::create(p) {
-                Ok(f) => Some(Mutex::new(BufWriter::new(f))),
+                Ok(f) => Some(match config.trace_format {
+                    TraceFormat::JsonLines => Sink::JsonLines(Mutex::new(BufWriter::new(f))),
+                    TraceFormat::Chrome => Sink::Chrome(Mutex::new(ChromeBuf {
+                        path: p.clone(),
+                        events: Vec::new(),
+                        written: false,
+                    })),
+                }),
                 Err(e) => {
                     eprintln!("[obs] cannot open trace file {}: {e}", p.display());
                     None
@@ -260,7 +308,9 @@ impl Recorder {
             sink,
             agg: Mutex::new(Agg::default()),
             progress_seq: AtomicU64::new(0),
+            progress_lock: Mutex::new(()),
             next_thread_id: AtomicU64::new(0),
+            thread_names: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -322,14 +372,24 @@ impl Local {
     fn drain(&mut self) {
         let Some(r) = RECORDER.get() else { return };
         if !self.events.is_empty() {
-            if let Some(sink) = &r.sink {
-                let mut w = sink.lock().expect("trace sink poisoned");
-                for e in &self.events {
-                    if let Ok(line) = serde_json::to_string(e) {
-                        let _ = writeln!(w, "{line}");
+            match &r.sink {
+                Some(Sink::JsonLines(sink)) => {
+                    let mut w = sink.lock().expect("trace sink poisoned");
+                    for e in &self.events {
+                        if let Ok(line) = serde_json::to_string(e) {
+                            let _ = writeln!(w, "{line}");
+                        }
+                    }
+                    let _ = w.flush();
+                }
+                Some(Sink::Chrome(buf)) => {
+                    let mut b = buf.lock().expect("chrome buffer poisoned");
+                    // Events after finalization have no file to land in.
+                    if !b.written {
+                        b.events.append(&mut self.events);
                     }
                 }
-                let _ = w.flush();
+                None => {}
             }
             self.events.clear();
         }
@@ -431,6 +491,53 @@ macro_rules! span {
     };
 }
 
+/// A sink-only span: emits a [`EventKind::Span`] trace event on finish
+/// (or drop) without entering the `[obs]` phase table — for
+/// high-cardinality work items (one span per runner job, per trace-arena
+/// synthesis, per sampled detailed interval) that a Chrome trace wants
+/// as individual slices but the end-of-run summary must not drown in.
+/// Free when no trace sink is attached.
+#[must_use = "an event span records its duration when finished or dropped"]
+pub struct EventSpan {
+    name: Option<String>,
+    start: Instant,
+}
+
+/// Starts a sink-only span (see [`EventSpan`]).
+pub fn event_span(name: &str) -> EventSpan {
+    EventSpan {
+        name: trace_enabled().then(|| name.to_owned()),
+        start: Instant::now(),
+    }
+}
+
+impl EventSpan {
+    /// Stops the span, emitting its trace event (if a sink is attached).
+    pub fn finish(self) {}
+}
+
+impl Drop for EventSpan {
+    fn drop(&mut self) {
+        let Some(name) = self.name.take() else { return };
+        let dur_us = (self.start.elapsed().as_secs_f64() * 1e6) as u64;
+        with_local(|l| emit(l, EventKind::Span { name, dur_us }));
+    }
+}
+
+/// Names the calling thread for trace display: Chrome-format traces
+/// render one track per named thread (threads sharing a name — e.g. the
+/// runner's `workerNN` slots across successive pools — merge into one
+/// track). Unnamed threads keep their numeric id.
+pub fn set_thread_name(name: &str) {
+    let r = recorder();
+    with_local(|l| {
+        r.thread_names
+            .lock()
+            .expect("thread names poisoned")
+            .insert(l.thread_id, name.to_owned());
+    });
+}
+
 impl Span {
     fn record(&mut self) -> f64 {
         if self.finished {
@@ -523,9 +630,20 @@ pub fn mark(name: &str, detail: &str) {
 /// Records a point event *and* echoes the classic numbered progress line
 /// (`[runner #N] label: outcome`) to stderr — the structured replacement
 /// for the runner's former raw `eprintln!`.
+///
+/// The sequence number is taken and the line written under one process
+/// lock, as a single pre-formatted `write`: concurrent workers can
+/// neither splice characters into each other's lines (an unbuffered
+/// `eprintln!` writes each format fragment separately) nor print out of
+/// sequence order.
 pub fn progress(label: &str, outcome: &str) {
-    let n = recorder().progress_seq.fetch_add(1, Ordering::Relaxed) + 1;
-    eprintln!("[runner #{n}] {label}: {outcome}");
+    let r = recorder();
+    {
+        let _serialized = r.progress_lock.lock().expect("progress lock poisoned");
+        let n = r.progress_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let line = format!("[runner #{n}] {label}: {outcome}\n");
+        let _ = std::io::stderr().lock().write_all(line.as_bytes());
+    }
     mark(label, outcome);
 }
 
@@ -535,8 +653,36 @@ pub fn progress(label: &str, outcome: &str) {
 pub fn flush() {
     with_local(Local::drain);
     if let Some(r) = RECORDER.get() {
-        if let Some(sink) = &r.sink {
+        if let Some(Sink::JsonLines(sink)) = &r.sink {
             let _ = sink.lock().expect("trace sink poisoned").flush();
+        }
+    }
+}
+
+/// Flushes the calling thread and, for a Chrome-format sink, writes the
+/// complete trace-event file (threads that already exited drained on
+/// exit). Idempotent — the first call wins; events recorded afterwards
+/// are dropped. JSON-lines sinks are complete after every [`flush`], so
+/// this is only *required* when tracing in [`TraceFormat::Chrome`]; call
+/// it last thing before process exit.
+pub fn finalize() {
+    flush();
+    let Some(r) = RECORDER.get() else { return };
+    if let Some(Sink::Chrome(buf)) = &r.sink {
+        let mut b = buf.lock().expect("chrome buffer poisoned");
+        if b.written {
+            return;
+        }
+        b.written = true;
+        let names = r
+            .thread_names
+            .lock()
+            .expect("thread names poisoned")
+            .clone();
+        let text = chrome::render(&b.events, &names);
+        b.events = Vec::new();
+        if let Err(e) = std::fs::write(&b.path, text) {
+            eprintln!("[obs] cannot write chrome trace {}: {e}", b.path.display());
         }
     }
 }

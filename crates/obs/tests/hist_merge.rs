@@ -1,0 +1,55 @@
+//! Property test: merging per-thread [`HistSummary`]s must equal
+//! recording the concatenated sample stream into one histogram — the
+//! invariant that makes the thread-local drain path lossless.
+
+use p10_obs::HistSummary;
+use proptest::prelude::*;
+
+fn recorded(samples: &[f64]) -> HistSummary {
+    let mut h = HistSummary::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge(record(a), record(b)) == record(a ++ b): count/min/max and
+    /// every bucket exactly, sum up to float accumulation order.
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        a in proptest::collection::vec(0.0f64..50.0, 0..40),
+        b in proptest::collection::vec(0.0f64..50.0, 0..40),
+    ) {
+        let mut merged = recorded(&a);
+        merged.merge(&recorded(&b));
+
+        let mut both = a.clone();
+        both.extend_from_slice(&b);
+        let whole = recorded(&both);
+
+        prop_assert_eq!(merged.count, whole.count);
+        prop_assert_eq!(merged.buckets, whole.buckets);
+        if !both.is_empty() {
+            prop_assert_eq!(merged.min, whole.min);
+            prop_assert_eq!(merged.max, whole.max);
+        }
+        prop_assert!((merged.sum - whole.sum).abs() <= 1e-9 * (1.0 + whole.sum.abs()));
+    }
+
+    /// Merging an empty summary in either direction is the identity.
+    #[test]
+    fn merge_with_empty_is_identity(
+        a in proptest::collection::vec(0.0f64..50.0, 0..40),
+    ) {
+        let base = recorded(&a);
+        let mut left = base;
+        left.merge(&HistSummary::default());
+        prop_assert_eq!(left, base);
+        let mut right = HistSummary::default();
+        right.merge(&base);
+        prop_assert_eq!(right, base);
+    }
+}
