@@ -124,7 +124,9 @@ impl TraceArena {
         // Miss (first request) or grow (longer request than the cached
         // cap on a non-exhausted buffer): synthesize under the stripe
         // lock so concurrent requests for this key dedup.
+        let sp = p10_obs::event_span(&format!("synth:{key:016x} cap={max_ops}"));
         let trace = synth(max_ops)?;
+        sp.finish();
         self.misses.fetch_add(1, Ordering::Relaxed);
         p10_obs::counter("trace.arena.misses", 1);
         let synthesized_bytes = (trace.ops.len() * std::mem::size_of::<DynOp>()) as u64;
